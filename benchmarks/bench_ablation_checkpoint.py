@@ -1,0 +1,52 @@
+"""Ablations around checkpointing (paper Sect. IV-E / VI claims).
+
+* interval sweep: redo-work shrinks with the interval; because the
+  neighbor-level checkpoint is nearly free, frequent checkpointing wins;
+* destination: neighbor-level blocks the application for ~nothing, while
+  synchronous PFS-level checkpoints cost orders of magnitude more.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_checkpoint_destination,
+    run_checkpoint_interval_sweep,
+)
+from repro.experiments.report import format_table
+from repro.workloads import scaled_spec
+
+
+def test_checkpoint_interval_sweep(sim_benchmark, capsys):
+    spec = scaled_spec(workers=16, iterations=400, name="bench-cp-sweep")
+    outcomes = sim_benchmark(run_checkpoint_interval_sweep, spec,
+                             (25, 50, 100, 200, 400))
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["interval", "runtime[s]", "redo-work[s]", "checkpoints"],
+            [[o.interval, o.runtime, o.redo_work, o.checkpoints_taken]
+             for o in outcomes],
+            title="Checkpoint interval sweep (one failure)"))
+    redo = [o.redo_work for o in outcomes]
+    assert redo[0] < redo[-1]          # shorter interval => less redo
+    runtimes = [o.runtime for o in outcomes]
+    assert min(runtimes) == runtimes[0]  # frequent CP wins (CP ~free)
+    sim_benchmark.extra_info["best_interval"] = outcomes[0].interval
+
+
+def test_checkpoint_destination(sim_benchmark, capsys):
+    outcomes = sim_benchmark(run_checkpoint_destination)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["destination", "blocked[s]", "overhead[%]"],
+            [[o.destination, o.checkpoint_time_total, o.overhead_pct]
+             for o in outcomes],
+            title="Checkpoint destination"))
+    neighbor, pfs = outcomes
+    sim_benchmark.extra_info["neighbor_overhead_pct"] = round(
+        neighbor.overhead_pct, 4)
+    sim_benchmark.extra_info["pfs_overhead_pct"] = round(pfs.overhead_pct, 4)
+    # neighbor-level ~free (paper: 0.01%); PFS markedly more expensive
+    assert neighbor.overhead_pct < 0.1
+    assert pfs.overhead_pct > 5 * neighbor.overhead_pct

@@ -1,0 +1,33 @@
+"""Ablation: FD strategy comparison (paper Sect. IV-A b, qualitative).
+
+Shape targets: the dedicated FD sends zero worker-side pings and adds zero
+failure-free overhead; all-to-all sends O(p^2) pings per period and adds
+measurable overhead; the neighbor ring sits in between.
+"""
+
+from repro.experiments.ablations import run_fd_strategy_comparison
+from repro.experiments.report import format_table
+
+
+def test_fd_strategy_comparison(sim_benchmark, capsys):
+    outcomes = sim_benchmark(run_fd_strategy_comparison, 32, 60, 0.414, 3.0)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["strategy", "runtime[s]", "overhead[%]", "pings",
+             "detect latency[s]"],
+            [[o.strategy, o.runtime, o.overhead_pct, o.pings_total,
+              o.detection_latency] for o in outcomes],
+            title="FD strategies (32 ranks, check every 3 s)"))
+    dedicated, all2all, ring = outcomes
+    sim_benchmark.extra_info["all_to_all_overhead_pct"] = round(
+        all2all.overhead_pct, 3)
+    sim_benchmark.extra_info["ring_overhead_pct"] = round(ring.overhead_pct, 3)
+
+    assert dedicated.pings_total == 0
+    assert dedicated.overhead_pct == 0.0
+    assert all2all.pings_total > 10 * ring.pings_total
+    assert all2all.overhead_pct > ring.overhead_pct >= 0.0
+    # all strategies do detect the failure eventually
+    assert all2all.detection_latency is not None
+    assert ring.detection_latency is not None

@@ -1,0 +1,91 @@
+"""Figure 4 regeneration: the seven runtime scenarios, as benchmarks.
+
+Each benchmark runs one scenario's full simulation; the paper-relevant
+numbers (virtual runtime and its decomposition) land in ``extra_info``.
+``test_figure4_table`` prints the complete figure as a table.
+
+Paper shape targets (Sect. VI): CP and HC overhead ~0; each failure adds a
+roughly constant overhead (detection + re-init + redo-work); k
+simultaneous failures cost ~one failure with the threaded FD.
+"""
+
+import pytest
+
+from repro.experiments.figure4 import (
+    HEADERS,
+    as_rows,
+    default_spec,
+    kill_schedule,
+    run_bare,
+    run_figure4,
+)
+from repro.experiments.common import run_ft_scenario
+from repro.experiments.report import format_table
+
+from conftest import bench_scale
+
+SPEC = default_spec("tiny" if bench_scale() == "small" else "paper")
+
+
+def _info(bench, outcome):
+    bench.extra_info["virtual_runtime_s"] = round(outcome.total_runtime, 3)
+    for key, value in outcome.components().items():
+        bench.extra_info[f"virtual_{key}_s"] = round(value, 3)
+    return outcome
+
+
+def test_bar1_baseline_no_hc_no_cp(sim_benchmark):
+    total = sim_benchmark(run_bare, SPEC, False)
+    sim_benchmark.extra_info["virtual_runtime_s"] = round(total, 3)
+
+
+def test_bar2_no_hc_with_cp(sim_benchmark):
+    total = sim_benchmark(run_bare, SPEC, True)
+    sim_benchmark.extra_info["virtual_runtime_s"] = round(total, 3)
+    baseline = run_bare(SPEC, False)
+    assert total <= baseline * 1.001  # checkpointing ~free (paper: 0.01%)
+
+
+def test_bar3_with_hc_with_cp(sim_benchmark):
+    outcome = sim_benchmark(run_ft_scenario, "with HC, with CP", SPEC)
+    _info(sim_benchmark, outcome)
+    assert outcome.n_recoveries == 0
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_bars_4_to_6_sequential_failures(sim_benchmark, k):
+    outcome = sim_benchmark(
+        run_ft_scenario, f"{k} fail recovery", SPEC,
+        kill_times=kill_schedule(SPEC, k),
+    )
+    _info(sim_benchmark, outcome)
+    assert outcome.n_recoveries == k
+    assert outcome.redo_work_time > 0
+    assert outcome.detection_time > 0
+
+
+def test_bar7_three_simultaneous_failures(sim_benchmark):
+    outcome = sim_benchmark(
+        run_ft_scenario, "3 sim. fail recovery", SPEC,
+        kill_times=kill_schedule(SPEC, 3, simultaneous=True),
+        fd_threads=8,
+    )
+    _info(sim_benchmark, outcome)
+    assert outcome.n_recoveries == 1  # one scan caught all three
+
+
+def test_figure4_table(sim_benchmark, capsys):
+    """The whole figure in one go, printed as the paper's bar data."""
+    outcomes = sim_benchmark(run_figure4, SPEC)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            HEADERS, as_rows(outcomes),
+            title=f"Figure 4 ({SPEC.n_workers} workers, "
+                  f"{SPEC.n_iterations} iterations)",
+        ))
+    base = outcomes[2].total_runtime
+    per_failure = outcomes[3].total_runtime - base
+    assert outcomes[4].total_runtime - base == pytest.approx(
+        2 * per_failure, rel=0.35)
+    assert outcomes[6].total_runtime <= outcomes[3].total_runtime * 1.1

@@ -1,0 +1,87 @@
+"""Wall-clock microbenchmarks of the numerical kernels (pytest-benchmark).
+
+These measure the *host* performance of the library's hot paths — the CSR
+spMVM, the QL tridiagonal eigensolver, matrix generation and checkpoint
+serialisation — the pieces a user pays for in real time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import pack_checkpoint, unpack_checkpoint
+from repro.solvers import lanczos_sequential, ql_eigenvalues
+from repro.spmvm import CSRMatrix, RowPartition
+from repro.spmvm.comm_setup import split_columns
+from repro.spmvm.matgen import GrapheneSheet, Laplacian2D
+
+
+@pytest.fixture(scope="module")
+def graphene_matrix():
+    return GrapheneSheet(120, 120, disorder=1.0, seed=0).full()  # 28.8k rows
+
+
+def test_csr_spmv(benchmark, graphene_matrix):
+    x = np.random.default_rng(0).standard_normal(graphene_matrix.n_cols)
+    y = benchmark(graphene_matrix.spmv, x)
+    assert y.shape == (graphene_matrix.n_rows,)
+    benchmark.extra_info["nnz"] = graphene_matrix.nnz
+    benchmark.extra_info["mflop_per_call"] = round(
+        2 * graphene_matrix.nnz / 1e6, 2)
+
+
+def test_csr_from_coo(benchmark):
+    rng = np.random.default_rng(1)
+    n, nnz = 20000, 200000
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    vals = rng.standard_normal(nnz)
+    mat = benchmark(CSRMatrix.from_coo, rows, cols, vals, (n, n))
+    assert mat.nnz <= nnz
+
+
+def test_ql_eigenvalues(benchmark):
+    rng = np.random.default_rng(2)
+    n = 2000
+    d = rng.standard_normal(n)
+    e = rng.standard_normal(n - 1)
+    eig = benchmark(ql_eigenvalues, d, e)
+    assert eig.shape == (n,)
+    assert eig.sum() == pytest.approx(d.sum(), rel=1e-8)
+
+
+def test_lanczos_sequential(benchmark, graphene_matrix):
+    alphas, betas = benchmark(lanczos_sequential, graphene_matrix, 50)
+    assert len(alphas) == 50
+
+
+def test_graphene_generation(benchmark):
+    gen = GrapheneSheet(200, 200, disorder=1.0, seed=3)  # 80k rows
+    block = benchmark(gen.generate_rows, 0, 20000)
+    assert block.n_rows == 20000
+
+
+def test_comm_setup_split(benchmark):
+    gen = Laplacian2D(300, 300)
+    partition = RowPartition(gen.n_rows, 16)
+    block = gen.generate_rows(*partition.range_of(7))
+    remapped, plan = benchmark(split_columns, block, partition, 7)
+    assert plan.halo_size > 0
+
+
+def test_checkpoint_pack(benchmark):
+    payload = {
+        "v_prev": np.random.default_rng(4).standard_normal(500_000),
+        "v_cur": np.random.default_rng(5).standard_normal(500_000),
+        "alpha": np.arange(3500.0),
+        "beta": np.arange(3500.0),
+    }
+    blob = benchmark(pack_checkpoint, payload)
+    assert len(blob) > 8_000_000
+    benchmark.extra_info["mb"] = round(len(blob) / 1e6, 2)
+
+
+def test_checkpoint_unpack(benchmark):
+    payload = {"v": np.random.default_rng(6).standard_normal(1_000_000)}
+    blob = pack_checkpoint(payload)
+    out = benchmark(unpack_checkpoint, blob)
+    assert np.array_equal(out["v"], payload["v"])

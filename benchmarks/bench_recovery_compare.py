@@ -1,0 +1,34 @@
+"""Extension benchmark: non-shrinking (paper) vs ULFM shrinking recovery.
+
+Shape targets: ULFM detects faster (communication-triggered, ~error
+timeout) while the paper's FD adds scan latency; both reconstruction
+costs grow linearly with rank count; the shrinking scheme additionally
+forces a domain redistribution the non-shrinking scheme avoids.
+"""
+
+import pytest
+
+from repro.experiments.recovery_compare import HEADERS, as_rows, run_comparison
+from repro.experiments.report import format_table
+
+
+def test_recovery_comparison(sim_benchmark, capsys):
+    sizes = (8, 16, 32, 64)
+    rows = sim_benchmark(run_comparison, sizes)
+    with capsys.disabled():
+        print()
+        print(format_table(HEADERS, as_rows(rows),
+                           title="Non-shrinking vs shrinking recovery"))
+    for row in rows:
+        # communication-triggered detection beats the periodic scan
+        assert row.ulfm_detection < row.gaspi_detection
+        # both schemes' reconstruction grows with size (checked pairwise)
+    rebuilds = [r.gaspi_reconstruction for r in rows]
+    shrinks = [r.ulfm_reconstruction for r in rows]
+    assert rebuilds == sorted(rebuilds)
+    assert shrinks == sorted(shrinks)
+    # linear growth of the GASPI group commit (rebuild dominated by it)
+    assert rebuilds[-1] / rebuilds[0] == pytest.approx(
+        sizes[-1] / sizes[0], rel=0.35)
+    sim_benchmark.extra_info["gaspi_rebuild_64"] = round(rebuilds[-1], 3)
+    sim_benchmark.extra_info["ulfm_shrink_64"] = round(shrinks[-1], 3)

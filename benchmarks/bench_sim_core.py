@@ -1,0 +1,86 @@
+"""Wall-clock throughput of the simulation substrate itself.
+
+The DES kernel's event rate bounds how big a cluster/iteration count the
+paper-scale experiments can replay; these benchmarks track it.
+"""
+
+import pytest
+
+from repro.sim import Channel, Simulator, Sleep
+from repro.gaspi import run_gaspi, AllreduceOp
+
+
+def test_event_throughput(benchmark):
+    """Raw heap throughput: 100k timer events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 100_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 100_000
+
+
+def test_process_switch_throughput(benchmark):
+    """Generator-process context switches: 20 procs x 5k sleeps."""
+
+    def run():
+        sim = Simulator()
+
+        def proc():
+            for _ in range(5000):
+                yield Sleep(1.0)
+
+        for _ in range(20):
+            sim.spawn(proc())
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) == 5000.0
+
+
+def test_channel_pingpong(benchmark):
+    def run():
+        sim = Simulator()
+        a, b = Channel("a"), Channel("b")
+
+        def left():
+            for _ in range(10_000):
+                a.put(1)
+                yield from b.get()
+
+        def right():
+            for _ in range(10_000):
+                yield from a.get()
+                b.put(1)
+
+        sim.spawn(left())
+        sim.spawn(right())
+        sim.run()
+
+    benchmark(run)
+
+
+def test_gaspi_allreduce_round(benchmark):
+    """A full GASPI world doing 200 allreduces on 32 ranks."""
+    import numpy as np
+
+    def run():
+        def main(ctx):
+            for step in range(200):
+                ret, _ = yield from ctx.allreduce(
+                    np.array([float(step)]), AllreduceOp.SUM
+                )
+            return ctx.now
+
+        return run_gaspi(main, n_ranks=32).result(0)
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) > 0

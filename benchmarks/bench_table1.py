@@ -1,0 +1,58 @@
+"""Table I regeneration: FD ping-scan time and detection latency vs nodes.
+
+Paper shape targets: scan time linear at ~1 ms per pinged process
+(0.010 s at 8 nodes -> 0.255 s at 256); detection+ack flat around ~5 s
+regardless of node count (scan period 3 s + channel-error timeout).
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.experiments.table1 import (
+    HEADERS,
+    as_rows,
+    measure_detection,
+    measure_scan_time,
+    run_table1,
+)
+
+from conftest import bench_scale
+
+NODES = (8, 16, 32, 64) if bench_scale() == "small" else (8, 16, 32, 64, 128, 256)
+RUNS = 3 if bench_scale() == "small" else 10
+
+
+@pytest.mark.parametrize("n_nodes", NODES)
+def test_ping_scan_time(sim_benchmark, n_nodes):
+    scan = sim_benchmark(measure_scan_time, n_nodes)
+    sim_benchmark.extra_info["virtual_scan_time_s"] = round(scan, 5)
+    # ~1 ms per pinged process + ~2 ms setup
+    expected = 0.002 + 0.001 * (n_nodes - 1)
+    assert scan == pytest.approx(expected, rel=0.15)
+
+
+@pytest.mark.parametrize("n_nodes", NODES)
+def test_detection_latency(sim_benchmark, n_nodes):
+    latency = sim_benchmark(measure_detection, n_nodes, seed=n_nodes)
+    sim_benchmark.extra_info["virtual_detection_s"] = round(latency, 3)
+    # flat in node count: scan phase U(0,3) + 3.5 s error timeout (+ scan)
+    assert 3.4 <= latency <= 8.5
+
+
+def test_table1_full(sim_benchmark, capsys):
+    rows = sim_benchmark(run_table1, NODES, RUNS)
+    with capsys.disabled():
+        print()
+        print(format_table(HEADERS, as_rows(rows),
+                           title=f"Table I (runs={RUNS})"))
+    scans = [r.avg_scan_time for r in rows]
+    # linear growth in node count ...
+    ratio = (scans[-1] - scans[0]) / (NODES[-1] - NODES[0])
+    assert ratio == pytest.approx(0.001, rel=0.15)
+    # ... while detection latency stays flat
+    means = [r.detection_mean for r in rows]
+    assert max(means) - min(means) < 2.5
+    for r in rows:
+        assert r.detection_std < 2.0

@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Simulation benchmarks measure *wall* time of the harness (one round — the
+simulations are deterministic) and attach the *virtual-time* results the
+paper reports as ``extra_info``, so ``--benchmark-only`` output carries
+both.  Set ``REPRO_BENCH_SCALE=paper`` to run the Figure-4/Table-I benches
+at full paper scale (minutes of wall time) instead of the fast presets.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture
+def sim_benchmark(benchmark):
+    """Run a deterministic simulation once under the benchmark timer."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    run.extra_info = benchmark.extra_info
+    return run

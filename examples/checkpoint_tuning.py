@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Checkpoint-interval tuning: redo-work vs checkpoint cost.
+
+The paper argues (Sect. VI) that the neighbor-level scheme's near-zero
+cost lets one crank up the checkpoint frequency to shrink the dominant
+redo-work overhead.  This example sweeps the interval with one injected
+failure and compares the measured optimum with the Young/Daly estimate
+sqrt(2 * C * MTTF) for the (tiny) per-checkpoint cost C.
+
+Run:  python examples/checkpoint_tuning.py
+"""
+
+import math
+
+from repro.experiments.ablations import run_checkpoint_interval_sweep
+from repro.experiments.report import format_table
+from repro.workloads import scaled_spec
+
+
+def main():
+    spec = scaled_spec(workers=16, iterations=400, name="cp-tuning")
+    intervals = (10, 25, 50, 100, 200, 400)
+    print(f"One failure injected; {spec.n_iterations} iterations at "
+          f"{spec.iteration_time:.3f} s; checkpoint "
+          f"{spec.checkpoint_bytes_per_worker / 1e6:.1f} MB/rank ...\n")
+    outcomes = run_checkpoint_interval_sweep(spec, intervals)
+    print(format_table(
+        ["interval [iters]", "total runtime [s]", "redo-work [s]",
+         "checkpoints taken"],
+        [[o.interval, o.runtime, o.redo_work, o.checkpoints_taken]
+         for o in outcomes],
+    ))
+
+    best = min(outcomes, key=lambda o: o.runtime)
+    cp_cost = spec.checkpoint_bytes_per_worker / 5.0e9  # local write
+    mttf = spec.baseline_runtime  # one failure per run
+    daly = math.sqrt(2 * cp_cost * mttf) / spec.iteration_time
+    print(f"\nmeasured best interval: {best.interval} iterations")
+    print(f"Young/Daly estimate:    sqrt(2*C*MTTF) ~ {daly:.0f} iterations "
+          f"(C = {cp_cost * 1e3:.2f} ms)")
+    print("\nBecause neighbor-level checkpoints are nearly free, very "
+          "frequent\ncheckpointing wins — exactly the paper's argument for "
+          "the scheme.")
+    assert best.interval <= intervals[2]  # optimum sits at the frequent end
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Failure-detection strategies compared (paper Sect. IV-A b).
+
+Quantifies why the paper chose a dedicated FD process over the two
+alternatives it investigated: all-to-all pings burn quadratically many
+messages and add failure-free overhead; the neighbor ring is cheap but
+still puts detection work (and the consensus problem) on the compute
+processes.  The dedicated FD's worker-side check is a local memory read.
+
+Run:  python examples/fd_strategies.py
+"""
+
+from repro.experiments.ablations import run_fd_strategy_comparison
+from repro.experiments.report import format_table
+
+
+def main():
+    print("Comparing detection strategies on 32 ranks "
+          "(60 iterations x 0.414 s, health check every 3 s) ...\n")
+    outcomes = run_fd_strategy_comparison(
+        n_ranks=32, n_iters=60, iteration_time=0.414, check_period=3.0
+    )
+    rows = [
+        [o.strategy, o.runtime, o.overhead_pct, o.pings_total,
+         "n/a" if o.detection_latency is None else round(o.detection_latency, 3)]
+        for o in outcomes
+    ]
+    print(format_table(
+        ["strategy", "failure-free runtime [s]", "overhead [%]",
+         "pings sent", "detection latency [s]"],
+        rows,
+    ))
+    dedicated, all2all, ring = outcomes
+    assert dedicated.pings_total == 0
+    assert all2all.pings_total > ring.pings_total
+    assert all2all.overhead_pct > dedicated.overhead_pct
+    print("\nThe dedicated FD sends no worker-side pings at all: its check "
+          "is a\nlocal flag read, which is why the paper measures zero "
+          "failure-free overhead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Graphene spectrum study: the paper's physics workload, failure-free.
+
+Computes the low-lying eigenvalues of graphene tight-binding Hamiltonians
+of growing size with the distributed Lanczos solver, validates them against
+SciPy's sparse eigensolver, and shows the effect of Anderson disorder on
+the spectrum near E = 0 (clean graphene is gapless; disorder fills in
+states around the Dirac point).
+
+Run:  python examples/graphene_spectrum.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.gaspi import run_gaspi
+from repro.solvers import DistributedLanczos
+from repro.spmvm import SpMVMEngine, Team, distribute_matrix
+from repro.spmvm.matgen import GrapheneSheet
+
+
+def distributed_low_eigenvalues(generator, n_ranks, n_steps, k=6):
+    """Low eigenvalues via the distributed solver on a simulated cluster."""
+
+    def main(ctx):
+        team = Team.trivial(ctx)
+        dmat = yield from distribute_matrix(team, generator)
+        engine = yield from SpMVMEngine.create(team, dmat)
+        solver = DistributedLanczos(team, engine)
+        state = yield from solver.run(n_steps)
+        return state.eigenvalue_estimates()[:k]
+
+    run = run_gaspi(main, n_ranks=n_ranks)
+    return np.asarray(run.result(0))
+
+
+def scipy_reference(generator, k=6):
+    full = generator.full()
+    mat = sp.csr_matrix(
+        (full.values, full.col_idx, full.row_ptr), shape=full.shape
+    )
+    return np.sort(spla.eigsh(mat, k=k, which="SA", return_eigenvectors=False))
+
+
+def distinct(values, tol=1e-6):
+    """Collapse (near-)degenerate eigenvalues — Lanczos with one start
+    vector only resolves distinct ones."""
+    out = []
+    for v in np.sort(values):
+        if not out or v - out[-1] > tol:
+            out.append(float(v))
+    return np.array(out)
+
+
+def main():
+    print("=== disordered graphene sheets, distributed Lanczos vs SciPy ===")
+    for nx, ny, ranks, disorder in ((4, 4, 2, 1.0), (5, 6, 3, 0.7),
+                                    (6, 8, 4, 0.5)):
+        gen = GrapheneSheet(nx, ny, disorder=disorder, seed=5)
+        ours = distinct(distributed_low_eigenvalues(gen, ranks,
+                                                    n_steps=gen.n_rows))[:3]
+        ref = distinct(scipy_reference(gen))[:3]
+        err = np.abs(ours - ref).max()
+        print(f"  {nx}x{ny} cells ({gen.n_rows:4d} sites, {ranks} ranks, "
+              f"W={disorder}): lambda_min = {ours[0]:+.6f}  "
+              f"(max |err| vs SciPy = {err:.2e})")
+        assert err < 1e-6
+
+    print("\n=== Anderson disorder shifts the band edge downwards ===")
+    gen_clean = GrapheneSheet(6, 6)
+    base = distributed_low_eigenvalues(gen_clean, 4, n_steps=gen_clean.n_rows)[0]
+    print(f"  W=0.0: lambda_min = {base:+.6f}")
+    for disorder in (0.5, 1.0, 2.0):
+        gen = GrapheneSheet(6, 6, disorder=disorder, seed=11)
+        lam = distributed_low_eigenvalues(gen, 4, n_steps=gen.n_rows)[0]
+        print(f"  W={disorder}: lambda_min = {lam:+.6f}")
+        assert lam < base  # disorder broadens the band
+
+    print("\nOK — distributed results match SciPy; disorder trend as expected.")
+
+
+if __name__ == "__main__":
+    main()

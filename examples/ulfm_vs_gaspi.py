@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Non-shrinking (GASPI + spare processes) vs shrinking (ULFM) recovery.
+
+The paper's stated future work is a comparison with OpenMPI's ULFM; this
+example runs both recovery philosophies against the same failure on the
+same simulated cluster and prints the cost breakdown:
+
+* the paper's scheme pays a *scan-latency* detection plus a blocking
+  group commit, but keeps the data distribution (data recovery = reading
+  a checkpoint);
+* the ULFM pattern detects through the failed communication itself
+  (faster) and rebuilds with revoke/agree/shrink, but the shrunken
+  communicator forces a domain redistribution across all survivors.
+
+Run:  python examples/ulfm_vs_gaspi.py
+"""
+
+from repro.experiments.recovery_compare import (
+    HEADERS,
+    as_rows,
+    run_comparison,
+)
+from repro.experiments.report import format_table
+from repro.workloads import scaled_spec
+
+
+def main():
+    sizes = (8, 16, 32, 64, 128)
+    print("Measuring one-failure recovery on both schemes "
+          f"(sizes {list(sizes)}) ...\n")
+    rows = run_comparison(sizes)
+    print(format_table(HEADERS, as_rows(rows),
+                       title="Recovery cost: non-shrinking vs shrinking"))
+
+    spec = scaled_spec(workers=sizes[-1], iterations=100)
+    print(f"""
+Interpretation
+--------------
+* Detection: ULFM notices the failure through the broken collective
+  (~transport error timeout); the paper's FD adds up to one scan period
+  — but costs the *workers* nothing while nothing fails.
+* Reconstruction: both grow linearly in rank count (group commit vs
+  revoke+agree+shrink).
+* The decisive difference is what comes next: the non-shrinking scheme
+  restores from checkpoints (~{spec.checkpoint_bytes_per_worker / 1e6:.1f}
+  MB/rank here), while after a shrink every surviving rank owns a
+  *different* row block, so the whole pre-processing stage
+  (~{spec.setup_time:.0f} s in the paper-scale model) must be redone —
+  the paper's core argument for pre-allocated spares.
+OK""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — fault-tolerant GASPI application stack (CLUSTER 2015 reproduction).
+
+Reproduces Shahzad et al., *Building a fault tolerant application using
+the GASPI communication layer* (IEEE CLUSTER 2015, arXiv:1505.04628):
+a dedicated fault-detector process, non-shrinking recovery with
+pre-allocated spares, a fault-aware neighbor node-level checkpoint/restart
+library, and the fault-tolerant Lanczos eigensolver they are demonstrated
+on — all built from scratch over a deterministic discrete-event simulation
+of the cluster, network and GPI-2 communication layer.
+
+Start here:
+
+* :mod:`repro.ft` — the paper's fault-tolerance machinery,
+* :mod:`repro.solvers.ft_lanczos` — the showcase application,
+* :mod:`repro.experiments` — regenerate every table and figure,
+* ``examples/quickstart.py`` — a survivable run in ~80 lines.
+"""
+
+__version__ = "1.0.0"
+__paper__ = (
+    "Shahzad et al., 'Building a fault tolerant application using the "
+    "GASPI communication layer', IEEE CLUSTER 2015 (arXiv:1505.04628)"
+)

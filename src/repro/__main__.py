@@ -1,0 +1,37 @@
+"""Command-line entry point: ``python -m repro <experiment> [...]``.
+
+Subcommands map to the experiment harness modules:
+
+* ``figure4``  — the seven runtime scenarios (``--scale paper|small|tiny``)
+* ``table1``   — FD scan/detection latency vs node count
+* ``ablations``— FD strategies, checkpoint interval/destination, commit
+* ``compare``  — non-shrinking (paper) vs shrinking (ULFM) recovery
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ablations, figure4, recovery_compare, table1
+
+_COMMANDS = {
+    "figure4": figure4.main,
+    "table1": table1.main,
+    "ablations": ablations.main,
+    "compare": recovery_compare.main,
+}
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help") or argv[0] not in _COMMANDS:
+        print(__doc__)
+        print("usage: python -m repro {" + ",".join(_COMMANDS) + "} [options]")
+        return 0 if argv and argv[0] in ("-h", "--help") else 2
+    command = argv.pop(0)
+    _COMMANDS[command](argv)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Post-run analysis: timelines and recovery reports for FT runs."""
+
+from repro.analysis.timeline import (
+    TimelineEvent,
+    collect_timeline,
+    render_timeline,
+    recovery_report,
+)
+from repro.analysis.planning import (
+    SparePlan,
+    daly_interval,
+    expected_failures,
+    expected_overhead_fraction,
+    plan_job,
+    required_spares,
+    survival_probability,
+)
+
+__all__ = [
+    "TimelineEvent",
+    "collect_timeline",
+    "render_timeline",
+    "recovery_report",
+    "SparePlan",
+    "daly_interval",
+    "expected_failures",
+    "expected_overhead_fraction",
+    "plan_job",
+    "required_spares",
+    "survival_probability",
+]

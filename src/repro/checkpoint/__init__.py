@@ -1,0 +1,38 @@
+"""Neighbor node-level checkpoint/restart library for GASPI applications.
+
+This is the reproduction of the paper's third contribution (Sect. IV-C):
+an application-level C/R library where each rank checkpoints to its *local*
+node store and a helper thread asynchronously mirrors the checkpoint to the
+neighboring node (optionally, every k-th checkpoint also goes to the
+parallel file system).  The library is fault-aware: after a recovery the
+neighbor map is refreshed from the failed-process list, and a restore
+transparently falls back from the local store to the neighbor copy to the
+PFS copy.
+
+Checkpoints are keyed by *logical* rank so that a rescue process (which
+adopts the failed process's logical identity) finds its predecessor's data.
+"""
+
+from repro.checkpoint.serialization import (
+    CheckpointCorrupt,
+    pack_checkpoint,
+    unpack_checkpoint,
+)
+from repro.checkpoint.store import CheckpointNotFound, NodeLocalStore, StoredBlob
+from repro.checkpoint.pfs import ParallelFileSystem
+from repro.checkpoint.neighbor import neighbor_of, neighbor_map
+from repro.checkpoint.manager import CheckpointConfig, CheckpointLib
+
+__all__ = [
+    "pack_checkpoint",
+    "unpack_checkpoint",
+    "CheckpointCorrupt",
+    "CheckpointNotFound",
+    "NodeLocalStore",
+    "StoredBlob",
+    "ParallelFileSystem",
+    "neighbor_of",
+    "neighbor_map",
+    "CheckpointConfig",
+    "CheckpointLib",
+]

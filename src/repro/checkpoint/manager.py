@@ -1,0 +1,258 @@
+"""The application-facing checkpoint library (paper Sect. IV-C, Fig. 2).
+
+Usage from a rank's generator::
+
+    lib = CheckpointLib(ctx, logical_rank=lrank, participants=workers)
+    done = yield from lib.write_checkpoint(version, {"v_j": vj, "alpha": a})
+    ...                         # compute continues; neighbor copy is async
+    version, payload = yield from lib.read_checkpoint()   # on restart
+
+The write path is the paper's: a synchronous local-node checkpoint, then a
+signal to the library's helper thread, which mirrors the blob to the
+neighbor node in the background (and, optionally, every ``pfs_every``-th
+version to the PFS).  ``refresh`` re-derives the neighbor after recovery;
+``restorable_latest`` reports the newest version this rank could actually
+restore, which the recovery protocol min-reduces across ranks to pick the
+globally consistent restart point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim import Channel, Event, Sleep
+from repro.gaspi.context import GaspiContext
+from repro.checkpoint.neighbor import neighbor_of
+from repro.checkpoint.pfs import ParallelFileSystem
+from repro.checkpoint.serialization import pack_checkpoint, unpack_checkpoint
+from repro.checkpoint.store import CheckpointNotFound, NodeLocalStore, StoredBlob
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class CheckpointConfig:
+    """Knobs of the checkpoint library."""
+
+    tag: str = "ckpt"
+    #: node-local store bandwidth (ramdisk/SSD), bytes/s
+    local_bandwidth: float = 5.0e9
+    #: how many versions to keep per (tag, logical rank)
+    keep_versions: int = 2
+    #: mirror every k-th version to the PFS (0 disables PFS copies)
+    pfs_every: int = 0
+
+
+class CheckpointLib:
+    """Per-rank instance of the neighbor node-level C/R library."""
+
+    def __init__(
+        self,
+        ctx: GaspiContext,
+        logical_rank: int,
+        participants: Sequence[int],
+        config: Optional[CheckpointConfig] = None,
+        pfs: Optional[ParallelFileSystem] = None,
+    ) -> None:
+        self.ctx = ctx
+        self.machine = ctx.world.machine
+        self.logical_rank = logical_rank
+        self.config = config or CheckpointConfig()
+        self.pfs = pfs
+        self.participants: List[int] = sorted(participants)
+        self.neighbor_rank: Optional[int] = None
+        self.refresh(self.participants)
+        self._jobs = Channel(name=f"ckpt-jobs-{ctx.rank}")
+        self._helper = ctx.world.launch(
+            ctx.rank, self._helper_loop(), name=f"ckpt-helper-{ctx.rank}"
+        )
+        self.stats = {"local_writes": 0, "neighbor_copies": 0, "pfs_copies": 0,
+                      "local_reads": 0, "remote_reads": 0, "pfs_reads": 0}
+
+    # ------------------------------------------------------------------
+    # placement helpers
+    # ------------------------------------------------------------------
+    @property
+    def my_node(self) -> int:
+        return self.machine.node_of(self.ctx.rank)
+
+    def _store_of_node(self, node_id: int) -> NodeLocalStore:
+        return NodeLocalStore(self.machine.node(node_id))
+
+    def _local_store(self) -> NodeLocalStore:
+        return self._store_of_node(self.my_node)
+
+    def refresh(self, participants: Iterable[int]) -> None:
+        """Fault-aware neighbor update after group reconstruction."""
+        self.participants = sorted(participants)
+        if self.ctx.rank in self.participants and len(self.participants) > 1:
+            self.neighbor_rank = neighbor_of(
+                self.ctx.rank, self.participants, self.machine.node_of
+            )
+        else:
+            self.neighbor_rank = None
+
+    @property
+    def neighbor_node(self) -> Optional[int]:
+        if self.neighbor_rank is None:
+            return None
+        return self.machine.node_of(self.neighbor_rank)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def write_checkpoint(self, version: int, payload: Dict[str, np.ndarray],
+                         nominal_bytes: Optional[int] = None):
+        """Generator: synchronous local checkpoint + async neighbor signal.
+
+        Returns an :class:`Event` that fires once the background neighbor
+        (and PFS, if due) copy finished — the application does *not* have
+        to wait on it.
+        """
+        data = pack_checkpoint(payload)
+        blob = StoredBlob(data=data, nominal_bytes=nominal_bytes or len(data))
+        yield Sleep(blob.nominal_bytes / self.config.local_bandwidth)
+        key = (self.config.tag, self.logical_rank, version)
+        self._local_store().put(key, blob)
+        self.stats["local_writes"] += 1
+        self._prune(self._local_store())
+        mirrored = Event(name=f"ckpt-mirrored-{self.ctx.rank}-v{version}")
+        self._jobs.put((key, blob, mirrored))
+        return mirrored
+
+    def _helper_loop(self):
+        """The library thread of Fig. 2: waits for signals, mirrors blobs."""
+        while True:
+            _, job = yield from self._jobs.get()
+            if job is _SHUTDOWN:
+                return
+            key, blob, mirrored = job
+            copied = False
+            node_id = self.neighbor_node
+            if node_id is not None:
+                yield Sleep(
+                    self.machine.network.transfer_time(self.my_node, node_id, blob.nominal_bytes)
+                )
+                # re-read placement: a recovery may have changed the neighbor
+                # while the copy was in flight; the blob still lands where
+                # the transfer was headed if that node survived.
+                store = self._store_of_node(node_id)
+                if store.available and self.machine.network.reachable(self.my_node, node_id):
+                    store.put(key, blob)
+                    self._prune(store)
+                    self.stats["neighbor_copies"] += 1
+                    copied = True
+            if (
+                self.pfs is not None
+                and self.config.pfs_every > 0
+                and key[2] % self.config.pfs_every == 0
+            ):
+                yield from self.pfs.write(key, blob)
+                self.stats["pfs_copies"] += 1
+            mirrored.succeed(copied)
+
+    def _prune(self, store: NodeLocalStore) -> None:
+        versions = store.versions(self.config.tag, self.logical_rank)
+        for stale in versions[: -self.config.keep_versions]:
+            store.delete((self.config.tag, self.logical_rank, stale))
+
+    def shutdown(self) -> None:
+        """Stop the helper thread (flushes queued jobs first)."""
+        self._jobs.put(_SHUTDOWN)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def _candidate_nodes(self, extra_nodes: Sequence[int] = ()) -> List[int]:
+        nodes: List[int] = [self.my_node]
+        nodes.extend(extra_nodes)
+        # my own neighbor may hold my blob from before a migration
+        if self.neighbor_node is not None:
+            nodes.append(self.neighbor_node)
+        seen, ordered = set(), []
+        for n in nodes:
+            if n not in seen:
+                seen.add(n)
+                ordered.append(n)
+        return ordered
+
+    def restorable_latest(self, extra_nodes: Sequence[int] = ()) -> int:
+        """Newest version this rank can restore from any source, or -1."""
+        best = -1
+        key_rank = self.logical_rank
+        for node_id in self._candidate_nodes(extra_nodes):
+            store = self._store_of_node(node_id)
+            latest = store.latest_version(self.config.tag, key_rank)
+            if latest is not None:
+                best = max(best, latest)
+        if self.pfs is not None:
+            latest = self.pfs.latest_version(self.config.tag, key_rank)
+            if latest is not None:
+                best = max(best, latest)
+        return best
+
+    def has_local(self, version: int) -> bool:
+        """Whether this rank's own node holds the version."""
+        return self._local_store().has((self.config.tag, self.logical_rank, version))
+
+    def _reprotect(self, key: Key, blob: StoredBlob):
+        """Generator: re-establish local + neighbor copies after a remote
+        restore (otherwise the *next* failure would find no local data)."""
+        yield Sleep(blob.nominal_bytes / self.config.local_bandwidth)
+        store = self._local_store()
+        store.put(key, blob)
+        self._prune(store)
+        self.stats["local_writes"] += 1
+        self._jobs.put((key, blob, Event(name=f"reprotect-{self.ctx.rank}")))
+
+    def read_checkpoint(self, version: Optional[int] = None,
+                        extra_nodes: Sequence[int] = (),
+                        reprotect: bool = True):
+        """Generator: restore ``(version, payload)``.
+
+        Sources are tried in locality order: own node, the ``extra_nodes``
+        the caller knows about (e.g. the failed process's node and its old
+        neighbor), this rank's current neighbor, finally the PFS.  Raises
+        :class:`CheckpointNotFound` when no source has the version.
+
+        With ``reprotect`` (default), a version restored from a *remote*
+        source is immediately written back to the local node and mirrored
+        to the current neighbor, restoring the usual protection level.
+        """
+        if version is None:
+            version = self.restorable_latest(extra_nodes)
+            if version < 0:
+                raise CheckpointNotFound(
+                    f"no checkpoint for logical rank {self.logical_rank}"
+                )
+        key = (self.config.tag, self.logical_rank, version)
+        for node_id in self._candidate_nodes(extra_nodes):
+            store = self._store_of_node(node_id)
+            if not store.has(key):
+                continue
+            if node_id != self.my_node and not self.machine.network.reachable(
+                self.my_node, node_id
+            ):
+                continue
+            blob = store.get(key)
+            if node_id == self.my_node:
+                yield Sleep(blob.nominal_bytes / self.config.local_bandwidth)
+                self.stats["local_reads"] += 1
+            else:
+                yield Sleep(
+                    self.machine.network.transfer_time(self.my_node, node_id, blob.nominal_bytes)
+                )
+                self.stats["remote_reads"] += 1
+                if reprotect:
+                    yield from self._reprotect(key, blob)
+            return version, unpack_checkpoint(blob.data)
+        if self.pfs is not None and self.pfs.has(key):
+            blob = yield from self.pfs.read(key)
+            self.stats["pfs_reads"] += 1
+            if reprotect:
+                yield from self._reprotect(key, blob)
+            return version, unpack_checkpoint(blob.data)
+        raise CheckpointNotFound(f"version {version} unavailable for {key}")

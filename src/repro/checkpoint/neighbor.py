@@ -1,0 +1,42 @@
+"""Neighbor selection for node-level checkpoint mirroring.
+
+The neighbor of a rank is the next participant (in ring order) hosted on a
+*different* node — a copy on the same node would die with it.  After a
+recovery the participant list changes, so the map must be refreshed (the
+library's fault-awareness requirement from Sect. IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+
+def neighbor_of(
+    rank: int,
+    participants: Sequence[int],
+    node_of: Callable[[int], int],
+) -> Optional[int]:
+    """The checkpoint neighbor of ``rank`` within ``participants``.
+
+    Returns the first participant after ``rank`` (cyclically, in sorted
+    order) living on a different node, or ``None`` when every participant
+    shares the rank's node (no safe mirror exists).
+    """
+    ring = sorted(participants)
+    if rank not in ring:
+        raise ValueError(f"rank {rank} not among participants {ring}")
+    my_node = node_of(rank)
+    idx = ring.index(rank)
+    for step in range(1, len(ring)):
+        candidate = ring[(idx + step) % len(ring)]
+        if node_of(candidate) != my_node:
+            return candidate
+    return None
+
+
+def neighbor_map(
+    participants: Sequence[int],
+    node_of: Callable[[int], int],
+) -> Dict[int, Optional[int]]:
+    """Neighbor of every participant (``None`` where no mirror exists)."""
+    return {r: neighbor_of(r, participants, node_of) for r in participants}

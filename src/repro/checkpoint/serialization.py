@@ -1,0 +1,86 @@
+"""Checkpoint serialization: a self-describing binary container format.
+
+A checkpoint payload is a flat mapping ``name -> numpy array or scalar``.
+The container stores, per entry: name, dtype, shape and raw bytes; the
+whole container carries a magic, a format version and a CRC32 so that a
+torn or corrupted blob is *detected* rather than silently restored — the
+property the consistent-version protocol depends on.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, Mapping, Union
+
+import numpy as np
+
+_MAGIC = b"GCKP"
+_VERSION = 1
+
+Payload = Mapping[str, Union[np.ndarray, int, float]]
+
+
+class CheckpointCorrupt(Exception):
+    """The blob failed structural or CRC validation."""
+
+
+def pack_checkpoint(payload: Payload) -> bytes:
+    """Serialize a payload mapping into a checksummed container."""
+    parts = []
+    for name, value in payload.items():
+        arr = np.asarray(value)
+        name_b = name.encode("utf-8")
+        dtype_b = arr.dtype.str.encode("ascii")
+        shape = arr.shape
+        data = np.ascontiguousarray(arr).tobytes()
+        parts.append(struct.pack("<HH", len(name_b), len(dtype_b)))
+        parts.append(name_b)
+        parts.append(dtype_b)
+        parts.append(struct.pack("<B", len(shape)))
+        parts.append(struct.pack(f"<{len(shape)}q", *shape))
+        parts.append(struct.pack("<q", len(data)))
+        parts.append(data)
+    body = b"".join(parts)
+    header = _MAGIC + struct.pack("<HI", _VERSION, len(payload))
+    crc = zlib.crc32(header + body) & 0xFFFFFFFF
+    return header + struct.pack("<I", crc) + body
+
+
+def unpack_checkpoint(blob: bytes) -> Dict[str, np.ndarray]:
+    """Parse a container back into ``{name: array}`` (CRC-validated)."""
+    if len(blob) < 14 or blob[:4] != _MAGIC:
+        raise CheckpointCorrupt("bad magic / truncated header")
+    version, n_entries = struct.unpack_from("<HI", blob, 4)
+    if version != _VERSION:
+        raise CheckpointCorrupt(f"unsupported container version {version}")
+    (crc_stored,) = struct.unpack_from("<I", blob, 10)
+    body = blob[14:]
+    crc_actual = zlib.crc32(blob[:10] + body) & 0xFFFFFFFF
+    if crc_actual != crc_stored:
+        raise CheckpointCorrupt("CRC mismatch")
+
+    out: Dict[str, np.ndarray] = {}
+    off = 0
+    for _ in range(n_entries):
+        try:
+            name_len, dtype_len = struct.unpack_from("<HH", body, off)
+            off += 4
+            name = body[off : off + name_len].decode("utf-8")
+            off += name_len
+            dtype = np.dtype(body[off : off + dtype_len].decode("ascii"))
+            off += dtype_len
+            (ndim,) = struct.unpack_from("<B", body, off)
+            off += 1
+            shape = struct.unpack_from(f"<{ndim}q", body, off)
+            off += 8 * ndim
+            (nbytes,) = struct.unpack_from("<q", body, off)
+            off += 8
+            data = body[off : off + nbytes]
+            if len(data) != nbytes:
+                raise CheckpointCorrupt("truncated entry data")
+            off += nbytes
+        except struct.error as exc:
+            raise CheckpointCorrupt(f"truncated entry header: {exc}") from exc
+        out[name] = np.frombuffer(data, dtype=dtype).reshape(shape).copy()
+    return out

@@ -1,0 +1,96 @@
+"""Node-local checkpoint stores.
+
+A :class:`NodeLocalStore` wraps a node's ``local_store`` dict, so that
+killing the node (``Node.wipe``) automatically loses every blob on it —
+the distinction between a process failure (local checkpoint survives) and
+a node failure (only the neighbor copy survives).
+
+Keys are ``(tag, logical_rank, version)``; blobs carry their nominal size,
+which may exceed ``len(data)`` when the timing-only model kernel declares
+paper-scale checkpoint volumes without materialising them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cluster.node import Node
+
+Key = Tuple[str, int, int]  # (tag, logical rank, version)
+
+
+class CheckpointNotFound(Exception):
+    """No (consistent) checkpoint available from any source."""
+
+
+@dataclass(frozen=True)
+class StoredBlob:
+    """One checkpoint blob plus its accounting size."""
+
+    data: bytes
+    nominal_bytes: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.nominal_bytes
+
+
+class NodeLocalStore:
+    """Checkpoint view of one node's local storage."""
+
+    _PREFIX = "ckpt"
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        return self.node.alive
+
+    def put(self, key: Key, blob: StoredBlob) -> None:
+        if not self.node.alive:
+            raise CheckpointNotFound(f"node {self.node.node_id} is down")
+        self.node.local_store[(self._PREFIX, *key)] = blob
+
+    def get(self, key: Key) -> StoredBlob:
+        if not self.node.alive:
+            raise CheckpointNotFound(f"node {self.node.node_id} is down")
+        try:
+            return self.node.local_store[(self._PREFIX, *key)]
+        except KeyError:
+            raise CheckpointNotFound(f"no blob {key} on node {self.node.node_id}") from None
+
+    def has(self, key: Key) -> bool:
+        return self.node.alive and (self._PREFIX, *key) in self.node.local_store
+
+    def delete(self, key: Key) -> None:
+        self.node.local_store.pop((self._PREFIX, *key), None)
+
+    # ------------------------------------------------------------------
+    def versions(self, tag: str, logical_rank: int) -> List[int]:
+        """Sorted versions held for ``(tag, logical_rank)``."""
+        if not self.node.alive:
+            return []
+        out = [
+            k[3]
+            for k in self.node.local_store
+            if isinstance(k, tuple)
+            and len(k) == 4
+            and k[0] == self._PREFIX
+            and k[1] == tag
+            and k[2] == logical_rank
+        ]
+        return sorted(out)
+
+    def latest_version(self, tag: str, logical_rank: int) -> Optional[int]:
+        versions = self.versions(tag, logical_rank)
+        return versions[-1] if versions else None
+
+    def used_bytes(self) -> int:
+        return sum(
+            blob.nominal_bytes
+            for k, blob in self.node.local_store.items()
+            if isinstance(k, tuple) and k and k[0] == self._PREFIX
+        )

@@ -1,0 +1,98 @@
+"""Dynamic network state: transfer costs, jitter, partitions, dead links.
+
+:class:`Network` combines a static :class:`Topology` with mutable health
+state.  It answers two questions for the transport layer:
+
+* ``reachable(a, b)`` — is there currently a path between two *nodes*?
+* ``transfer_time(a, b, nbytes)`` — alpha-beta cost of moving ``nbytes``,
+  with optional deterministic jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+import numpy as np
+
+from repro.cluster.topology import Topology, UniformTopology
+
+
+@dataclass
+class NetworkParams:
+    """Tunable knobs of the network model.
+
+    ``jitter`` is the relative half-width of a uniform multiplicative noise
+    term on each transfer (0 disables it; draws come from a named RNG stream
+    so runs stay reproducible).
+    """
+
+    jitter: float = 0.0
+    #: fixed per-message software/NIC overhead (seconds) added to every
+    #: transfer on top of wire latency — models posting + completion cost.
+    per_message_overhead: float = 0.5e-6
+
+
+def _link_key(a: int, b: int) -> Tuple[int, int]:
+    return (a, b) if a <= b else (b, a)
+
+
+class Network:
+    """Mutable network health + transfer cost model."""
+
+    def __init__(
+        self,
+        topology: Optional[Topology] = None,
+        params: Optional[NetworkParams] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.topology = topology or UniformTopology()
+        self.params = params or NetworkParams()
+        self._rng = rng
+        self._broken_links: Set[Tuple[int, int]] = set()
+        self._isolated_nodes: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # health state
+    # ------------------------------------------------------------------
+    def break_link(self, node_a: int, node_b: int) -> None:
+        """Cut the (bidirectional) link between two nodes."""
+        self._broken_links.add(_link_key(node_a, node_b))
+
+    def heal_link(self, node_a: int, node_b: int) -> None:
+        """Restore a previously cut link (no-op if it was healthy)."""
+        self._broken_links.discard(_link_key(node_a, node_b))
+
+    def isolate_node(self, node: int) -> None:
+        """Cut *all* links of ``node`` (switch-port failure)."""
+        self._isolated_nodes.add(node)
+
+    def rejoin_node(self, node: int) -> None:
+        self._isolated_nodes.discard(node)
+
+    def reachable(self, node_a: int, node_b: int) -> bool:
+        """Whether a message can currently flow between the two nodes."""
+        if node_a == node_b:
+            # loopback never traverses the fabric
+            return node_a not in self._isolated_nodes or True
+        if node_a in self._isolated_nodes or node_b in self._isolated_nodes:
+            return False
+        return _link_key(node_a, node_b) not in self._broken_links
+
+    @property
+    def broken_links(self) -> Set[Tuple[int, int]]:
+        return set(self._broken_links)
+
+    # ------------------------------------------------------------------
+    # cost model
+    # ------------------------------------------------------------------
+    def transfer_time(self, node_a: int, node_b: int, nbytes: int) -> float:
+        """Alpha-beta transfer cost: latency + size/bandwidth (+ jitter)."""
+        base = (
+            self.params.per_message_overhead
+            + self.topology.latency(node_a, node_b)
+            + nbytes / self.topology.bandwidth(node_a, node_b)
+        )
+        if self.params.jitter and self._rng is not None:
+            base *= 1.0 + self.params.jitter * (2.0 * self._rng.random() - 1.0)
+        return base

@@ -1,0 +1,34 @@
+"""Compute node model: rank placement, aliveness, node-local storage."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+class Node:
+    """One compute node.
+
+    A node hosts one or more ranks and a node-local store (modelling local
+    SSD/ramdisk, the target of neighbor-level checkpoints).  Killing a node
+    kills its ranks *and* wipes the local store — the difference between a
+    process failure (checkpoint survives locally) and a node failure
+    (checkpoint must be fetched from the neighbor node).
+    """
+
+    __slots__ = ("node_id", "alive", "ranks", "local_store")
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.alive = True
+        self.ranks: List[int] = []
+        # tag -> payload; used by repro.checkpoint.store.NodeLocalStore
+        self.local_store: Dict[Any, Any] = {}
+
+    def wipe(self) -> None:
+        """Mark the node dead and lose everything stored locally."""
+        self.alive = False
+        self.local_store.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "down"
+        return f"<Node {self.node_id} {state} ranks={self.ranks}>"

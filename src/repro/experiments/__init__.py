@@ -1,0 +1,21 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.experiments.figure4` — the seven runtime scenarios of
+  Figure 4 with their component decomposition.
+* :mod:`repro.experiments.table1` — FD ping-scan time and failure
+  detection+acknowledgment time versus node count (Table I).
+* :mod:`repro.experiments.ablations` — the paper's qualitative claims
+  quantified: FD strategy comparison (Sect. IV-A b), checkpoint interval
+  and destination trade-offs (Sect. IV-E), group-commit scaling.
+
+Each module exposes a ``run_*`` function returning structured rows and a
+``main()`` that prints the paper-style table; run them as
+``python -m repro.experiments.figure4`` etc.
+"""
+
+from repro.experiments.common import ScenarioOutcome, run_ft_scenario
+
+__all__ = [
+    "ScenarioOutcome",
+    "run_ft_scenario",
+]

@@ -1,0 +1,185 @@
+"""Figure 4: runtime scenarios of the FT Lanczos application.
+
+Reproduces the seven bars (paper Sect. VI): the no-health-check /
+no-checkpoint baseline, checkpointing only, health check + checkpointing,
+one / two / three sequential failure recoveries, and three *simultaneous*
+failures detected by the threaded FD — each decomposed into computation,
+redo-work, re-initialisation and fault-detection time.
+
+Kills are placed ~114 iterations past a checkpoint (the paper kills at a
+fixed iteration "to have a deterministic redo-work time"), so one recovery
+costs ≈ redo(114 iters) + detection + re-init.
+
+Run: ``python -m repro.experiments.figure4 [--scale paper|small|tiny]``
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Tuple
+
+from repro.sim import Sleep
+from repro.gaspi import AllreduceOp, ReturnCode, run_gaspi
+from repro.cluster import MachineSpec
+from repro.checkpoint.manager import CheckpointConfig, CheckpointLib
+from repro.experiments.common import ScenarioOutcome, run_ft_scenario
+from repro.experiments.report import format_table
+from repro.workloads.spec import PAPER_GRAPHENE, WorkloadSpec, scaled_spec
+
+#: fraction of a checkpoint interval the kill lands after a checkpoint
+#: (paper: ~47 s redo of the ~64 s per-failure overhead => ~114 of the 500
+#: iterations between checkpoints)
+REDO_TARGET_FRACTION = 114 / 500
+
+
+def _redo_target_iters(spec: WorkloadSpec) -> int:
+    return max(1, int(round(spec.checkpoint_interval * REDO_TARGET_FRACTION)))
+
+
+def default_spec(scale: str) -> WorkloadSpec:
+    if scale == "paper":
+        return PAPER_GRAPHENE
+    if scale == "small":
+        return scaled_spec(workers=64, iterations=700, name="figure4-small")
+    if scale == "tiny":
+        return scaled_spec(workers=16, iterations=140, name="figure4-tiny")
+    raise ValueError(f"unknown scale {scale!r}")
+
+
+# ----------------------------------------------------------------------
+# bare (non-FT) scenarios: 'w/o HC' bars
+# ----------------------------------------------------------------------
+def run_bare(spec: WorkloadSpec, checkpoints: bool) -> float:
+    """Failure-free run without the FT stack; returns the total runtime."""
+
+    def main(ctx):
+        import numpy as np
+
+        group = ctx.group_create(tag=0)
+        for rank in range(spec.n_workers):
+            ctx.group_add(group, rank)
+        ret = yield from ctx.group_commit(group)
+        assert ret is ReturnCode.SUCCESS
+
+        lib = None
+        if checkpoints:
+            lib = CheckpointLib(ctx, ctx.rank, list(range(spec.n_workers)),
+                                config=CheckpointConfig(tag="state"))
+        yield Sleep(spec.setup_time)
+        step = 0
+        while step < spec.n_iterations:
+            ret, _ = yield from ctx.allreduce(
+                np.array([step]), AllreduceOp.MIN, group
+            )
+            assert ret is ReturnCode.SUCCESS
+            yield Sleep(spec.iteration_time)
+            step += 1
+            if lib is not None and step % spec.checkpoint_interval == 0:
+                yield from lib.write_checkpoint(
+                    step // spec.checkpoint_interval,
+                    {"step": np.int64(step)},
+                    nominal_bytes=spec.checkpoint_bytes_per_worker,
+                )
+        if lib is not None:
+            lib.shutdown()
+        return ctx.now
+
+    run = run_gaspi(main, machine_spec=MachineSpec(n_nodes=spec.n_workers))
+    return max(run.result(r) for r in range(spec.n_workers))
+
+
+# ----------------------------------------------------------------------
+# kill placement
+# ----------------------------------------------------------------------
+def kill_schedule(spec: WorkloadSpec, n_kills: int,
+                  simultaneous: bool = False) -> List[Tuple[float, int]]:
+    """(time, rank) pairs placing each kill ~REDO_TARGET iters past a CP."""
+    from repro.gaspi.collectives import CollectiveCosts
+
+    redo_iters = _redo_target_iters(spec)
+    detection_est = 3.0 / 2 + 3.5 + 0.5          # scan phase + error timeout
+    commit_est = CollectiveCosts().commit(spec.n_workers)
+    redo_est = redo_iters * spec.iteration_time
+    per_failure_overhead = detection_est + commit_est + redo_est + 1.0
+
+    kills: List[Tuple[float, int]] = []
+    for k in range(n_kills):
+        if simultaneous:
+            target_iter = spec.checkpoint_interval + redo_iters
+            t = spec.setup_time + spec.time_of_iteration(target_iter)
+        else:
+            target_iter = spec.checkpoint_interval * (k + 1) + redo_iters
+            t = (spec.setup_time + spec.time_of_iteration(target_iter)
+                 + k * per_failure_overhead)
+        kills.append((t + 1e-3, 1 + k))  # kill worker ranks 1, 2, 3, ...
+    return kills
+
+
+# ----------------------------------------------------------------------
+# the figure
+# ----------------------------------------------------------------------
+def run_figure4(spec: Optional[WorkloadSpec] = None,
+                keep_results: bool = False) -> List[ScenarioOutcome]:
+    spec = spec or default_spec("small")
+    outcomes: List[ScenarioOutcome] = []
+
+    for name, checkpoints in (("w/o HC, w/o CP", False), ("w/o HC, with CP", True)):
+        total = run_bare(spec, checkpoints)
+        outcomes.append(ScenarioOutcome(
+            name=name, spec=spec, total_runtime=total,
+            computation_time=total, redo_work_time=0.0, reinit_time=0.0,
+            detection_time=0.0, n_recoveries=0,
+        ))
+
+    outcomes.append(run_ft_scenario("with HC, with CP", spec))
+
+    for k in (1, 2, 3):
+        outcomes.append(run_ft_scenario(
+            f"{k} fail recovery", spec, kill_times=kill_schedule(spec, k),
+        ))
+
+    outcomes.append(run_ft_scenario(
+        "3 sim. fail recovery", spec,
+        kill_times=kill_schedule(spec, 3, simultaneous=True),
+        fd_threads=8,
+    ))
+
+    if not keep_results:
+        for outcome in outcomes:
+            outcome.result = None
+    return outcomes
+
+
+def as_rows(outcomes: List[ScenarioOutcome]) -> List[List]:
+    rows = []
+    for o in outcomes:
+        rows.append([
+            o.name, o.total_runtime, o.computation_time, o.redo_work_time,
+            o.reinit_time, o.detection_time, o.n_recoveries,
+        ])
+    return rows
+
+
+HEADERS = ["scenario", "runtime[s]", "computation[s]", "redo-work[s]",
+           "re-init[s]", "detection[s]", "recoveries"]
+
+
+def main(argv=None) -> str:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["paper", "small", "tiny"],
+                        default="small")
+    args = parser.parse_args(argv)
+    spec = default_spec(args.scale)
+    outcomes = run_figure4(spec)
+    table = format_table(
+        HEADERS, as_rows(outcomes),
+        title=(f"Figure 4 — Lanczos runtime scenarios "
+               f"({spec.n_workers} workers, {spec.n_iterations} iterations, "
+               f"CP every {spec.checkpoint_interval})"),
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,50 @@
+"""Application-driven fault tolerance for GASPI programs (the paper's core).
+
+Components, mirroring Sect. IV of the paper:
+
+* :mod:`repro.ft.roles` / :mod:`repro.ft.config` — worker / idle / FD role
+  assignment over the physical ranks, with spares pre-allocated at job
+  start (non-shrinking recovery).
+* :mod:`repro.ft.control` — the per-rank failure-acknowledgment control
+  block, written one-sidedly by the FD into every healthy rank's global
+  memory; workers poll a *local* flag (zero cost while failure-free).
+* :mod:`repro.ft.detector` — the dedicated fault-detector process
+  (Listing 1): periodic one-sided ping scan, rescue assignment, notice
+  broadcast; optional threaded scanning and the FD-watchdog extension.
+* :mod:`repro.ft.recovery` — communication reconstruction (Listing 2):
+  identity takeover, ``gaspi_proc_kill`` of suspects, group rebuild with
+  blocking commit, checkpoint-version agreement.
+* :mod:`repro.ft.app` — the generic application driver (Fig. 3 flowchart)
+  tying roles, detection, recovery and checkpointing together around an
+  :class:`FTProgram`.
+* :mod:`repro.ft.strategies` — the alternative detectors the paper
+  evaluates qualitatively (all-to-all ping, neighbor ring).
+"""
+
+from repro.ft.roles import Role
+from repro.ft.config import FTConfig
+from repro.ft.control import ControlBlock, FailureNotice, FT_SEGMENT
+from repro.ft.rankmap import ActiveRankMap
+from repro.ft.spares import SparePool, RescueAssignment
+from repro.ft.detector import fd_process, scan_once
+from repro.ft.recovery import perform_recovery, RecoveryResult
+from repro.ft.app import FTContext, FTProgram, ft_main, run_ft_application
+
+__all__ = [
+    "Role",
+    "FTConfig",
+    "ControlBlock",
+    "FailureNotice",
+    "FT_SEGMENT",
+    "ActiveRankMap",
+    "SparePool",
+    "RescueAssignment",
+    "fd_process",
+    "scan_once",
+    "perform_recovery",
+    "RecoveryResult",
+    "FTContext",
+    "FTProgram",
+    "ft_main",
+    "run_ft_application",
+]

@@ -1,0 +1,84 @@
+"""Configuration of the fault-tolerance layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.checkpoint.manager import CheckpointConfig
+from repro.ft.roles import Role
+
+
+@dataclass
+class FTConfig:
+    """Shape and timing of one fault-tolerant job.
+
+    The job uses ``n_workers + n_spares`` physical ranks.  The *last* rank
+    is the fault detector; the other ``n_spares - 1`` spares idle until the
+    FD designates them as rescues (paper Sect. IV: "One of the
+    pre-determined idle processes serves as a failure detector process.
+    The rest of the idle processes stay idle...").  Paper defaults:
+    scan every 3 s, communication timeout 1 s.
+    """
+
+    n_workers: int = 4
+    n_spares: int = 2
+    #: seconds between the FD's ping scans (paper: 3 s)
+    fd_scan_period: float = 3.0
+    #: timeout used by workers' blocking communication retries (paper: 1 s)
+    comm_timeout: float = 1.0
+    #: concurrent pings during a scan (paper's threaded FD uses 8)
+    fd_threads: int = 1
+    #: how often idle processes poll their control block
+    idle_poll: float = 0.1
+    #: fixed software cost the FD pays per scan (queue/loop setup); fitted
+    #: against Table I together with the 1 ms/process ping cost
+    scan_setup_overhead: float = 2.0e-3
+    #: promote an idle process to FD if the FD itself dies (extension of
+    #: the paper's future work: "the redundancy approach can be
+    #: implemented to make the FD process fault tolerant")
+    fd_redundancy: bool = False
+    #: checkpoint every this many solver iterations (paper: 500)
+    checkpoint_interval: int = 500
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("need at least one worker")
+        if self.n_spares < 1:
+            raise ValueError("need at least one spare (the FD process)")
+        if self.fd_threads < 1:
+            raise ValueError("fd_threads must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_ranks(self) -> int:
+        return self.n_workers + self.n_spares
+
+    @property
+    def fd_rank(self) -> int:
+        """The initially designated fault-detector process."""
+        return self.n_ranks - 1
+
+    @property
+    def watchdog_rank(self) -> int:
+        """The idle that takes over on FD death (``fd_redundancy``)."""
+        return self.n_ranks - 2
+
+    @property
+    def idle_ranks(self) -> range:
+        return range(self.n_workers, self.n_ranks - 1)
+
+    @property
+    def max_recoverable_failures(self) -> int:
+        """Idle rescues plus the FD joining as the last resort."""
+        return self.n_spares
+
+    def role_of(self, rank: int) -> Role:
+        """Initial role of a physical rank."""
+        if not (0 <= rank < self.n_ranks):
+            raise ValueError(f"rank {rank} outside [0, {self.n_ranks})")
+        if rank < self.n_workers:
+            return Role.WORKING
+        if rank == self.fd_rank:
+            return Role.FD
+        return Role.IDLE

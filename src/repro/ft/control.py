@@ -1,0 +1,180 @@
+"""The failure-acknowledgment control block.
+
+Every rank owns segment ``FT_SEGMENT`` laid out as int64 cells:
+
+====================  =========================================================
+cell                  meaning
+====================  =========================================================
+``epoch``             failure sequence number (0 = no failure yet)
+``ack``               1 while a failure notice is pending acknowledgment
+``done``              1 once the application completed (tells idles to exit)
+``n_failed``          failed ranks in this epoch's notice
+``n_rescues``         rescues assigned (``< n_failed`` = unrecoverable)
+``failed[]``          the failed physical ranks (this epoch)
+``rescues[]``         their rescue physical ranks, pairwise
+``status[]``          role/health of every physical rank (:class:`Role`)
+``rank_map[]``        logical worker rank -> physical rank (FD-authoritative)
+====================  =========================================================
+
+The FD composes the block locally and one-sided-writes it into every
+healthy rank ("This is done via one-sided write in the global memory of
+all healthy processes").  Workers acknowledge by *reading local memory*
+before each blocking call — the zero-overhead property in the failure-free
+case.  The ``rank_map`` makes the FD the single authority on identity
+takeover, so rescues and survivors cannot disagree about the new mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gaspi.context import GaspiContext
+from repro.ft.config import FTConfig
+from repro.ft.roles import Role
+
+#: segment id reserved for the FT control block on every rank
+FT_SEGMENT = 0
+
+_I8 = 8
+
+
+@dataclass(frozen=True)
+class FailureNotice:
+    """One epoch's failure notice, as read from the local control block."""
+
+    epoch: int
+    failed: Tuple[int, ...]
+    rescues: Tuple[int, ...]
+    status: Tuple[int, ...]
+    rank_map: Dict[int, int]
+
+    @property
+    def recoverable(self) -> bool:
+        return len(self.rescues) >= len(self.failed)
+
+
+class ControlBlock:
+    """Typed view over one rank's FT control segment."""
+
+    def __init__(self, ctx: GaspiContext, cfg: FTConfig) -> None:
+        self.ctx = ctx
+        self.cfg = cfg
+        # capacity must allow *reporting* more failures than spares exist,
+        # so workers can learn a failure batch is unrecoverable
+        max_failed = cfg.n_ranks
+        self._off_failed = 5
+        self._off_rescues = self._off_failed + max_failed
+        self._off_status = self._off_rescues + max_failed
+        self._off_map = self._off_status + cfg.n_ranks
+        self.n_cells = self._off_map + cfg.n_workers
+        if FT_SEGMENT not in ctx.segments:
+            ctx.segment_create(FT_SEGMENT, self.n_cells * _I8)
+        self.cells = ctx.segment_view(FT_SEGMENT, np.int64, 0, self.n_cells)
+
+    # ------------------------------------------------------------------
+    # named accessors
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        return int(self.cells[0])
+
+    @property
+    def ack(self) -> bool:
+        return bool(self.cells[1])
+
+    @property
+    def done(self) -> bool:
+        return bool(self.cells[2])
+
+    def status_of(self, rank: int) -> Role:
+        return Role(int(self.cells[self._off_status + rank]))
+
+    def statuses(self) -> np.ndarray:
+        return self.cells[self._off_status : self._off_status + self.cfg.n_ranks]
+
+    def rank_map(self) -> Dict[int, int]:
+        cells = self.cells[self._off_map : self._off_map + self.cfg.n_workers]
+        return {logical: int(phys) for logical, phys in enumerate(cells)}
+
+    def failed_list(self) -> List[int]:
+        n = int(self.cells[3])
+        return [int(r) for r in self.cells[self._off_failed : self._off_failed + n]]
+
+    def rescue_list(self) -> List[int]:
+        n = int(self.cells[4])
+        return [int(r) for r in self.cells[self._off_rescues : self._off_rescues + n]]
+
+    # ------------------------------------------------------------------
+    # initialisation (every rank, at startup)
+    # ------------------------------------------------------------------
+    def init_local(self) -> None:
+        """Fill the block with the initial roles and identity mapping."""
+        self.cells[:] = 0
+        for rank in range(self.cfg.n_ranks):
+            self.cells[self._off_status + rank] = int(self.cfg.role_of(rank))
+        for logical in range(self.cfg.n_workers):
+            self.cells[self._off_map + logical] = logical
+
+    # ------------------------------------------------------------------
+    # worker-side acknowledgment (the zero-cost check)
+    # ------------------------------------------------------------------
+    def check_failure(self, seen_epoch: int) -> Optional[FailureNotice]:
+        """Local-memory check: a new notice since ``seen_epoch``?"""
+        if not self.cells[1] or self.cells[0] <= seen_epoch:
+            return None
+        return self.read_notice()
+
+    def read_notice(self) -> FailureNotice:
+        return FailureNotice(
+            epoch=self.epoch,
+            failed=tuple(self.failed_list()),
+            rescues=tuple(self.rescue_list()),
+            status=tuple(int(s) for s in self.statuses()),
+            rank_map=self.rank_map(),
+        )
+
+    # ------------------------------------------------------------------
+    # FD-side composition and broadcast
+    # ------------------------------------------------------------------
+    def compose_notice(self, epoch: int, failed: List[int], rescues: List[int],
+                       statuses: np.ndarray, rank_map: Dict[int, int]) -> None:
+        """Write a notice into the *local* block (the FD's staging copy)."""
+        max_failed = self.cfg.n_ranks
+        if len(failed) > max_failed:
+            raise ValueError(f"{len(failed)} failures exceed capacity {max_failed}")
+        self.cells[0] = epoch
+        self.cells[1] = 1
+        self.cells[3] = len(failed)
+        self.cells[4] = len(rescues)
+        self.cells[self._off_failed : self._off_failed + max_failed] = 0
+        self.cells[self._off_failed : self._off_failed + len(failed)] = failed
+        self.cells[self._off_rescues : self._off_rescues + max_failed] = 0
+        self.cells[self._off_rescues : self._off_rescues + len(rescues)] = rescues
+        self.cells[self._off_status : self._off_status + self.cfg.n_ranks] = statuses
+        for logical, phys in rank_map.items():
+            self.cells[self._off_map + logical] = phys
+
+    def mark_done_local(self) -> None:
+        self.cells[2] = 1
+
+    def broadcast(self, targets: List[int], queue_id: int = 0,
+                  timeout: float = 1.0):
+        """Generator: one-sided-write this block into every target rank.
+
+        Writes to dead targets simply never complete; the queue is purged
+        afterwards so they cannot wedge later broadcasts.
+        """
+        from repro.gaspi.constants import ReturnCode
+
+        nbytes = self.n_cells * _I8
+        for target in targets:
+            if target == self.ctx.rank:
+                continue
+            self.ctx.write(FT_SEGMENT, 0, nbytes, target, FT_SEGMENT, 0, queue_id)
+        ret = yield from self.ctx.wait(queue_id, timeout)
+        if ret is not ReturnCode.SUCCESS:
+            self.ctx.queue_purge(queue_id)
+        return ret

@@ -1,0 +1,160 @@
+"""The dedicated fault-detector process (paper Listing 1 + Sect. IV-A).
+
+The FD periodically pings every process it does not already know to be
+dead (the ``avoid_list``).  A ping returning ``GASPI_ERROR`` marks a
+fail-stop; the FD then assigns rescues from the spare pool, updates the
+authoritative rank map and broadcasts the failure notice into every
+healthy rank's control block by one-sided writes.
+
+``fd_threads > 1`` reproduces the paper's threaded FD: that many pings are
+posted concurrently (on different queues in GPI-2 terms), so ``k``
+simultaneous failures are detected at roughly the cost of one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.sim import Sleep, WaitEvent
+from repro.gaspi.constants import GASPI_TEST, ReturnCode
+from repro.gaspi.context import GaspiContext
+from repro.ft.config import FTConfig
+from repro.ft.control import ControlBlock
+from repro.ft.roles import Role
+from repro.ft.spares import SparePool
+
+#: payload of the passive message that shuts the FD down at job end
+FD_STOP = "fd-stop"
+
+
+@dataclass
+class DetectionEvent:
+    """One detected failure batch (for the overhead benchmarks)."""
+
+    epoch: int
+    t_detected: float          # when the scan resolved the failures
+    t_acknowledged: float      # when the notice broadcast completed
+    failed: Tuple[int, ...]
+    rescues: Tuple[int, ...]
+    fd_joined: bool
+
+
+@dataclass
+class FDStats:
+    """What the FD measured while running (Table I inputs)."""
+
+    scan_times: List[float] = field(default_factory=list)
+    detections: List[DetectionEvent] = field(default_factory=list)
+    outcome: str = "running"
+
+    @property
+    def avg_scan_time(self) -> float:
+        return sum(self.scan_times) / len(self.scan_times) if self.scan_times else 0.0
+
+
+def scan_once(ctx: GaspiContext, targets: List[int], fd_threads: int = 1):
+    """Generator: ping every target; returns the list that failed.
+
+    Pings are issued in batches of ``fd_threads``; within a batch they run
+    concurrently (the threaded-FD behaviour), between batches sequentially.
+    """
+    failed: List[int] = []
+    for start in range(0, len(targets), max(1, fd_threads)):
+        batch = targets[start : start + max(1, fd_threads)]
+        events = [(rank, ctx.proc_ping_post(rank)) for rank in batch]
+        for rank, event in events:
+            _, result = yield WaitEvent(event)
+            alive, _ = result
+            if ctx.note_ping_result(rank, alive) is ReturnCode.ERROR:
+                failed.append(rank)
+    return failed
+
+
+def fd_process(ctx: GaspiContext, cfg: FTConfig,
+               block: Optional[ControlBlock] = None,
+               takeover: bool = False):
+    """Generator: the fault-detector main loop.
+
+    Returns ``(outcome, stats)`` where outcome is
+
+    * ``"stopped"`` — the application signalled completion;
+    * ``"rescue"`` — the spare pool ran dry and this FD process joined the
+      worker group as the final rescue (fault tolerance ends here);
+    * ``"unrecoverable"`` — more failures than rescues; the notice was
+      still broadcast so workers can terminate cleanly.
+
+    With ``takeover=True`` (FD-watchdog extension) the process continues
+    from its existing control block instead of initialising a fresh one.
+    """
+    if block is None:
+        block = ControlBlock(ctx, cfg)
+        if not takeover:
+            block.init_local()
+    statuses = block.statuses()
+    if takeover:
+        statuses[ctx.rank] = Role.FD
+    pool = SparePool(statuses, ctx.rank)
+    rank_map = block.rank_map()
+    avoid = {int(r) for r in range(cfg.n_ranks) if statuses[r] == Role.FAILED}
+    epoch = block.epoch
+    stats = FDStats()
+
+    while True:
+        # non-blocking stop check (the app's completion signal)
+        ret, _, payload = yield from ctx.passive_receive(GASPI_TEST)
+        if (ret is ReturnCode.SUCCESS and payload == FD_STOP) or block.done:
+            stats.outcome = "stopped"
+            return ("stopped", stats)
+
+        yield Sleep(cfg.fd_scan_period)
+
+        targets = [
+            r for r in range(cfg.n_ranks)
+            if r != ctx.rank and r not in avoid
+        ]
+        t0 = ctx.now
+        yield Sleep(cfg.scan_setup_overhead)
+        failed_now = yield from scan_once(ctx, targets, cfg.fd_threads)
+        stats.scan_times.append(ctx.now - t0)
+        if not failed_now:
+            continue
+
+        t_detected = ctx.now
+        avoid.update(failed_now)
+        failed_workers = sorted(r for r in failed_now if r in rank_map.values())
+        failed_others = [r for r in failed_now if r not in failed_workers]
+        for rank in failed_others:
+            statuses[rank] = Role.FAILED  # dead idles just shrink the pool
+
+        if not failed_workers:
+            continue  # no worker died: nothing to acknowledge
+
+        assignment = pool.assign(failed_workers)
+        epoch += 1
+        rank_map = {
+            logical: dict(zip(assignment.failed, assignment.rescues)).get(phys, phys)
+            for logical, phys in rank_map.items()
+        }
+        block.compose_notice(epoch, assignment.failed, assignment.rescues,
+                             statuses, rank_map)
+        healthy = [
+            r for r in range(cfg.n_ranks)
+            if r not in avoid and statuses[r] != Role.FAILED
+        ]
+        yield from block.broadcast(healthy, timeout=cfg.comm_timeout)
+        stats.detections.append(DetectionEvent(
+            epoch=epoch,
+            t_detected=t_detected,
+            t_acknowledged=ctx.now,
+            failed=tuple(assignment.failed),
+            rescues=tuple(assignment.rescues),
+            fd_joined=assignment.fd_joined,
+        ))
+
+        if assignment.fd_joined:
+            stats.outcome = "rescue"
+            return ("rescue", stats)
+        if not assignment.recoverable:
+            stats.outcome = "unrecoverable"
+            return ("unrecoverable", stats)

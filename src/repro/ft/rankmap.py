@@ -1,0 +1,65 @@
+"""Logical-to-physical rank mapping (the paper's ``myrank_active``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ActiveRankMap:
+    """Bidirectional view of ``logical worker rank -> physical GASPI rank``."""
+
+    logical_to_physical: Dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def initial(cls, n_workers: int) -> "ActiveRankMap":
+        return cls({i: i for i in range(n_workers)})
+
+    # ------------------------------------------------------------------
+    def physical(self, logical: int) -> int:
+        return self.logical_to_physical[logical]
+
+    def logical_of(self, physical: int) -> Optional[int]:
+        for logical, phys in self.logical_to_physical.items():
+            if phys == physical:
+                return logical
+        return None
+
+    def physical_ranks(self) -> List[int]:
+        return sorted(self.logical_to_physical.values())
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.logical_to_physical)
+
+    # ------------------------------------------------------------------
+    def apply_recovery(self, failed: Sequence[int],
+                       rescues: Sequence[int]) -> "ActiveRankMap":
+        """New map with each failed physical replaced by its rescue.
+
+        ``failed[i]`` is replaced by ``rescues[i]`` — the identity-takeover
+        step ("rescue processes overtake the identity of the failed
+        processes").
+        """
+        if len(rescues) < len(failed):
+            raise ValueError("not enough rescues for the failed ranks")
+        replacement = dict(zip(failed, rescues))
+        out = {}
+        for logical, phys in self.logical_to_physical.items():
+            out[logical] = replacement.get(phys, phys)
+        return ActiveRankMap(out)
+
+    def undo_recovery(self, failed: Sequence[int],
+                      rescues: Sequence[int]) -> "ActiveRankMap":
+        """The inverse of :meth:`apply_recovery` (pre-failure placement).
+
+        Used by rescues to locate the failed process's checkpoints: the old
+        map tells them which node held the data and who its checkpoint
+        neighbor was.
+        """
+        back = dict(zip(rescues, failed))
+        return ActiveRankMap(
+            {logical: back.get(phys, phys)
+             for logical, phys in self.logical_to_physical.items()}
+        )

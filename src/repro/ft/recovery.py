@@ -1,0 +1,122 @@
+"""Communication reconstruction after failure (paper Listing 2).
+
+Every member of the *new* worker group — survivors and freshly designated
+rescues — executes :func:`perform_recovery`:
+
+1. adopt identity: look up one's logical rank in the FD-authoritative rank
+   map (rescues "overtake the identity of the failed processes");
+2. delete the broken worker group (survivors only — rescues never had it);
+3. ``gaspi_proc_kill`` every reported-failed rank, so transient and
+   false-positive "failures" are forced to really die before the group is
+   rebuilt;
+4. purge communication queues of operations stuck on dead targets;
+5. create and *commit* the new group (the blocking, linear-cost step the
+   paper measures as OHF2).  If yet another failure notice arrives while
+   committing, the whole procedure restarts with the newer notice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.gaspi.constants import ReturnCode
+from repro.gaspi.context import GaspiContext
+from repro.gaspi.groups import Group
+from repro.checkpoint.neighbor import neighbor_of
+from repro.ft.config import FTConfig
+from repro.ft.control import ControlBlock, FailureNotice
+from repro.ft.rankmap import ActiveRankMap
+from repro.spmvm.team import Team
+
+
+@dataclass
+class RecoveryResult:
+    """What one rank knows after a successful reconstruction."""
+
+    notice: FailureNotice
+    team: Team
+    #: nodes that may hold this rank's logical predecessor's checkpoints
+    #: (the failed process's node and its former checkpoint neighbor);
+    #: empty for survivors
+    extra_nodes: List[int]
+    #: True if this rank joined the group during this recovery
+    is_rescue: bool
+
+
+def restore_sources(ctx: GaspiContext, notice: FailureNotice) -> List[int]:
+    """Candidate nodes holding the checkpoints this rescue must inherit."""
+    if ctx.rank not in notice.rescues:
+        return []
+    failed_phys = notice.failed[notice.rescues.index(ctx.rank)]
+    machine = ctx.world.machine
+    new_map = ActiveRankMap(dict(notice.rank_map))
+    old_map = new_map.undo_recovery(notice.failed, notice.rescues)
+    nodes = [machine.node_of(failed_phys)]
+    old_neighbor = neighbor_of(
+        failed_phys, old_map.physical_ranks(), machine.node_of
+    )
+    if old_neighbor is not None:
+        nodes.append(machine.node_of(old_neighbor))
+    return nodes
+
+
+def perform_recovery(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
+                     notice: FailureNotice, old_group: Optional[Group] = None):
+    """Generator: Listing 2 for one rank; returns :class:`RecoveryResult`.
+
+    Restarts automatically if a newer failure notice supersedes ``notice``
+    while the group commit is pending.
+    """
+    was_rescue = False
+    while True:
+        rank_map = dict(notice.rank_map)
+        my_logical = None
+        for logical, phys in rank_map.items():
+            if phys == ctx.rank:
+                my_logical = logical
+                break
+        if my_logical is None:
+            raise RuntimeError(
+                f"rank {ctx.rank} performed recovery but is not in the new "
+                f"worker map {rank_map}"
+            )
+        was_rescue = was_rescue or ctx.rank in notice.rescues
+
+        if old_group is not None:
+            ctx.group_delete(old_group)
+            old_group = None
+
+        # enforce the death of everything the FD reported (false positives
+        # and transient failures are made permanent before we rebuild)
+        for failed in notice.failed:
+            yield from ctx.proc_kill(failed, cfg.comm_timeout)
+
+        for queue_id in range(ctx.n_queues):
+            ctx.queue_purge(queue_id)
+
+        group = ctx.group_create(tag=notice.epoch)
+        for phys in sorted(rank_map.values()):
+            ctx.group_add(group, phys)
+
+        superseded = False
+        while True:
+            newer = block.check_failure(notice.epoch)
+            if newer is not None:
+                notice = newer
+                superseded = True
+                break
+            ret = yield from ctx.group_commit(group, cfg.comm_timeout)
+            if ret is ReturnCode.SUCCESS:
+                break
+        if superseded:
+            continue
+
+        team = Team(ctx=ctx, group=group, logical_rank=my_logical,
+                    rank_map=rank_map)
+        return RecoveryResult(
+            notice=notice,
+            team=team,
+            extra_nodes=restore_sources(ctx, notice),
+            is_rescue=was_rescue,
+        )

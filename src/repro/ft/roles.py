@@ -1,0 +1,18 @@
+"""Process roles and status codes shared by the FT components."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Role(enum.IntEnum):
+    """Role of a physical rank at a point in time.
+
+    The values double as the entries of the control block's status array
+    (``status_processes`` in the paper's Listing 2).
+    """
+
+    WORKING = 0
+    IDLE = 1
+    FD = 2
+    FAILED = 3

@@ -1,0 +1,64 @@
+"""GASPI/GPI-2 emulation over the simulated cluster.
+
+This package reproduces the communication API the paper's application is
+written against: the GASPI specification's segments, queues, one-sided
+communication with notifications, passive communication, global atomics,
+groups and timed-out collectives, plus the error state vector and the two
+GPI-2 extensions the authors rely on (``proc_ping`` and ``proc_kill``).
+
+The central object is :class:`GaspiContext` — one per rank, handed to the
+rank's main generator by :func:`run_gaspi`.  Every potentially blocking
+procedure takes a timeout (``GASPI_BLOCK`` blocks forever, ``GASPI_TEST``
+polls) and is a generator: call it as ``ret = yield from ctx.barrier(...)``.
+
+Example::
+
+    from repro.gaspi import run_gaspi, GASPI_BLOCK, ReturnCode
+
+    def main(ctx):
+        ret = yield from ctx.barrier(ctx.group_all, GASPI_BLOCK)
+        assert ret is ReturnCode.SUCCESS
+        return ctx.rank
+
+    result = run_gaspi(n_ranks=4, main=main)
+"""
+
+from repro.gaspi.constants import (
+    GASPI_BLOCK,
+    GASPI_TEST,
+    ReturnCode,
+    HealthState,
+    AllreduceOp,
+)
+from repro.gaspi.errors import GaspiUsageError
+from repro.gaspi.segments import Segment, SegmentTable
+from repro.gaspi.notifications import NotificationBoard
+from repro.gaspi.queues import Queue
+from repro.gaspi.groups import Group
+from repro.gaspi.collectives import CollectiveEngine, CollectiveCosts
+from repro.gaspi.state import StateVector
+from repro.gaspi.config import GaspiConfig
+from repro.gaspi.context import GaspiContext
+from repro.gaspi.runtime import GaspiWorld, GaspiRun, run_gaspi
+
+__all__ = [
+    "GASPI_BLOCK",
+    "GASPI_TEST",
+    "ReturnCode",
+    "HealthState",
+    "AllreduceOp",
+    "GaspiUsageError",
+    "Segment",
+    "SegmentTable",
+    "NotificationBoard",
+    "Queue",
+    "Group",
+    "CollectiveEngine",
+    "CollectiveCosts",
+    "StateVector",
+    "GaspiConfig",
+    "GaspiContext",
+    "GaspiWorld",
+    "GaspiRun",
+    "run_gaspi",
+]

@@ -1,0 +1,151 @@
+"""The collective engine: matches collective calls across ranks.
+
+Collectives in GASPI are timed-out and must be retried with identical
+parameters after a timeout.  The engine keys each collective *instance* by
+``(kind, group identity, sequence)``; a rank's arrival is idempotent, so a
+retry after timeout re-joins the same pending instance.  When the last
+member arrives the instance completes for everyone at
+
+    ``max(arrival time) + cost(kind, group size, payload)``
+
+with costs from :class:`CollectiveCosts`.  A member that never arrives
+(because it failed) leaves the instance pending forever — the survivors
+only ever see ``GASPI_TIMEOUT``, which is precisely the failure mode the
+paper's fault detector exists to resolve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim import Event, Simulator
+from repro.gaspi.constants import AllreduceOp
+from repro.gaspi.errors import GaspiUsageError
+
+
+@dataclass
+class CollectiveCosts:
+    """Timing model of collective operations (see DESIGN.md calibration).
+
+    * barrier/allreduce: dissemination pattern, ``ceil(log2 p)`` rounds.
+    * group_commit: GPI-2 (re-)establishes connection state per member —
+      the dominant, *linear-in-p* cost the paper observes as OHF2
+      (~27 ms/rank → ≈ 7 s at 256 ranks).
+    """
+
+    round_latency: float = 10.0e-6
+    bandwidth: float = 3.2e9
+    commit_per_rank: float = 0.027
+    commit_base: float = 0.050
+
+    def barrier(self, p: int) -> float:
+        return max(1, math.ceil(math.log2(max(2, p)))) * self.round_latency
+
+    def allreduce(self, p: int, nbytes: int) -> float:
+        rounds = max(1, math.ceil(math.log2(max(2, p))))
+        return rounds * (self.round_latency + nbytes / self.bandwidth)
+
+    def commit(self, p: int) -> float:
+        return self.commit_base + self.commit_per_rank * p
+
+
+def _reduce(op: AllreduceOp, contributions: List[np.ndarray]) -> np.ndarray:
+    stack = np.stack(contributions)
+    if op is AllreduceOp.MIN:
+        return stack.min(axis=0)
+    if op is AllreduceOp.MAX:
+        return stack.max(axis=0)
+    if op is AllreduceOp.SUM:
+        return stack.sum(axis=0)
+    raise GaspiUsageError(f"unknown allreduce op {op!r}")  # pragma: no cover
+
+
+class _Instance:
+    """One in-flight collective instance."""
+
+    __slots__ = ("members", "arrived", "events", "finished")
+
+    def __init__(self, members: Tuple[int, ...]) -> None:
+        self.members = members
+        self.arrived: Dict[int, Any] = {}
+        self.events: Dict[int, Event] = {}
+        self.finished = False
+
+
+class CollectiveEngine:
+    """World-global matcher for barrier / allreduce / group_commit."""
+
+    def __init__(self, sim: Simulator, costs: Optional[CollectiveCosts] = None) -> None:
+        self.sim = sim
+        self.costs = costs or CollectiveCosts()
+        self._instances: Dict[Tuple, _Instance] = {}
+
+    # ------------------------------------------------------------------
+    def arrive(
+        self,
+        kind: str,
+        group_identity: Tuple,
+        seq: int,
+        rank: int,
+        members: Tuple[int, ...],
+        contribution: Any = None,
+        finisher: Optional[Callable[[List[Any]], Any]] = None,
+        cost: float = 0.0,
+    ) -> Event:
+        """Join collective instance ``(kind, group_identity, seq)``.
+
+        Returns this rank's completion event (stable across retries).  When
+        the final member arrives, ``finisher`` combines the contributions
+        (in member order) into the shared result and every member's event
+        fires ``cost`` seconds later.
+        """
+        if rank not in members:
+            raise GaspiUsageError(f"rank {rank} not a member of {group_identity}")
+        key = (kind, group_identity, seq)
+        inst = self._instances.get(key)
+        if inst is None:
+            inst = _Instance(members)
+            self._instances[key] = inst
+        elif inst.members != members:
+            raise GaspiUsageError(
+                f"collective {key} called with mismatched membership: "
+                f"{inst.members} vs {members}"
+            )
+
+        event = inst.events.get(rank)
+        if event is None:
+            event = Event(name=f"{kind}:{group_identity}:{seq}:{rank}")
+            inst.events[rank] = event
+        if rank not in inst.arrived:
+            inst.arrived[rank] = contribution
+
+        if not inst.finished and len(inst.arrived) == len(inst.members):
+            inst.finished = True
+            ordered = [inst.arrived[m] for m in inst.members]
+            result = finisher(ordered) if finisher is not None else None
+
+            def complete() -> None:
+                for member in inst.members:
+                    ev = inst.events.get(member)
+                    if ev is None:
+                        ev = Event()
+                        inst.events[member] = ev
+                    ev.succeed(result)
+                self._instances.pop(key, None)
+
+            self.sim.schedule(cost, complete)
+        return event
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of collective instances still waiting for members."""
+        return len(self._instances)
+
+    @staticmethod
+    def reduce_finisher(op: AllreduceOp) -> Callable[[List[np.ndarray]], np.ndarray]:
+        return lambda contributions: _reduce(op, contributions)

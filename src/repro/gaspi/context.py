@@ -1,0 +1,549 @@
+"""Per-rank GASPI handle: the API the application generators program to.
+
+Blocking procedures are generators (call with ``yield from``) returning a
+:class:`ReturnCode` (possibly inside a tuple); non-blocking posts are plain
+methods.  Timeouts are virtual seconds; ``GASPI_BLOCK`` blocks forever and
+``GASPI_TEST`` only polls.  This mirrors the C API shape used throughout
+the paper's listings, e.g.::
+
+    ret = yield from ctx.proc_ping(rem_id, GASPI_BLOCK)
+    if ret is ReturnCode.ERROR:
+        avoid_list[rem_id] = 1
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Optional
+
+import numpy as np
+
+from repro.sim import WaitEvent
+from repro.gaspi.constants import (
+    GASPI_BLOCK,
+    AllreduceOp,
+    HealthState,
+    ReturnCode,
+)
+from repro.gaspi.errors import GaspiUsageError
+from repro.gaspi.groups import Group
+from repro.gaspi.queues import Queue
+from repro.gaspi.segments import Segment, SegmentTable
+from repro.gaspi.state import StateVector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gaspi.runtime import GaspiWorld
+
+
+def _clip_timeout(timeout: float) -> Optional[float]:
+    """Map a GASPI timeout to the kernel's (None = forever)."""
+    if timeout is None:
+        raise GaspiUsageError("timeout must be a number, GASPI_BLOCK or GASPI_TEST")
+    if math.isinf(timeout):
+        return None
+    if timeout < 0:
+        raise GaspiUsageError(f"negative timeout {timeout}")
+    return timeout
+
+
+class GaspiContext:
+    """One rank's view of the GASPI world."""
+
+    def __init__(self, world: "GaspiWorld", rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.segments = SegmentTable()
+        self.state_vector = StateVector(world.n_ranks)
+        self._queues = [
+            Queue(i, world.config.queue_depth) for i in range(world.config.n_queues)
+        ]
+        self.group_all = Group(tag=-1)
+        for r in range(world.n_ranks):
+            self.group_all.add(r)
+        self.group_all.committed = True
+
+    # ------------------------------------------------------------------
+    # identity / environment
+    # ------------------------------------------------------------------
+    @property
+    def num_ranks(self) -> int:
+        """``gaspi_proc_num``."""
+        return self.world.n_ranks
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self.world.sim.now
+
+    @property
+    def n_queues(self) -> int:
+        return len(self._queues)
+
+    def _queue(self, queue_id: int) -> Queue:
+        if not (0 <= queue_id < len(self._queues)):
+            raise GaspiUsageError(f"queue {queue_id} outside [0, {len(self._queues)})")
+        return self._queues[queue_id]
+
+    def _remote(self, rank: int) -> "GaspiContext":
+        if not (0 <= rank < self.world.n_ranks):
+            raise GaspiUsageError(f"rank {rank} outside [0, {self.world.n_ranks})")
+        return self.world.contexts[rank]
+
+    # ------------------------------------------------------------------
+    # segments
+    # ------------------------------------------------------------------
+    def segment_create(self, segment_id: int, size: int) -> Segment:
+        """``gaspi_segment_create`` (registration is implicit here)."""
+        return self.segments.create(
+            segment_id, size, self.world.config.n_notifications
+        )
+
+    def segment(self, segment_id: int) -> Segment:
+        return self.segments.get(segment_id)
+
+    def segment_view(self, segment_id: int, dtype, offset: int = 0,
+                     count: Optional[int] = None) -> np.ndarray:
+        """Zero-copy typed view into a local segment (``gaspi_segment_ptr``)."""
+        return self.segments.get(segment_id).view(dtype, offset, count)
+
+    # ------------------------------------------------------------------
+    # one-sided communication (non-blocking posts)
+    # ------------------------------------------------------------------
+    def write(self, segment_id: int, offset: int, size: int, dst_rank: int,
+              remote_segment: int, remote_offset: int, queue_id: int = 0) -> ReturnCode:
+        """``gaspi_write``: one-sided put, completion tracked on the queue."""
+        queue = self._queue(queue_id)
+        if queue.full:
+            return ReturnCode.QUEUE_FULL
+        data = self.segments.get(segment_id).read_bytes(offset, size)
+        self._remote(dst_rank)  # validate rank early
+
+        def apply() -> None:
+            self.world.contexts[dst_rank].segments.get(remote_segment).write_bytes(
+                remote_offset, data
+            )
+
+        done = self.world.transport.post_rdma(self.rank, dst_rank, size, apply)
+        queue.post(done)
+        return ReturnCode.SUCCESS
+
+    def read(self, segment_id: int, offset: int, size: int, src_rank: int,
+             remote_segment: int, remote_offset: int, queue_id: int = 0) -> ReturnCode:
+        """``gaspi_read``: one-sided get into the local segment."""
+        queue = self._queue(queue_id)
+        if queue.full:
+            return ReturnCode.QUEUE_FULL
+        local = self.segments.get(segment_id)
+        local.check_range(offset, size)
+        self._remote(src_rank)
+
+        def apply() -> bytes:
+            return self.world.contexts[src_rank].segments.get(remote_segment).read_bytes(
+                remote_offset, size
+            )
+
+        done = self.world.transport.post_rdma(self.rank, src_rank, size, apply)
+        done.add_callback(lambda ev: local.write_bytes(offset, ev.value[1]))
+        queue.post(done)
+        return ReturnCode.SUCCESS
+
+    def notify(self, dst_rank: int, remote_segment: int, notification_id: int,
+               value: int = 1, queue_id: int = 0) -> ReturnCode:
+        """``gaspi_notify``: set a notification slot on the remote segment."""
+        queue = self._queue(queue_id)
+        if queue.full:
+            return ReturnCode.QUEUE_FULL
+        if value == 0:
+            raise GaspiUsageError("notification value must be non-zero")
+        self._remote(dst_rank)
+
+        def apply() -> None:
+            self.world.contexts[dst_rank].segments.get(remote_segment).notifications.post(
+                notification_id, value
+            )
+
+        done = self.world.transport.post_rdma(self.rank, dst_rank, 8, apply)
+        queue.post(done)
+        return ReturnCode.SUCCESS
+
+    def write_notify(self, segment_id: int, offset: int, size: int, dst_rank: int,
+                     remote_segment: int, remote_offset: int, notification_id: int,
+                     value: int = 1, queue_id: int = 0) -> ReturnCode:
+        """``gaspi_write_notify``: fused put + notification (data first)."""
+        queue = self._queue(queue_id)
+        if queue.full:
+            return ReturnCode.QUEUE_FULL
+        if value == 0:
+            raise GaspiUsageError("notification value must be non-zero")
+        data = self.segments.get(segment_id).read_bytes(offset, size)
+        self._remote(dst_rank)
+
+        def apply() -> None:
+            remote = self.world.contexts[dst_rank].segments.get(remote_segment)
+            remote.write_bytes(remote_offset, data)
+            remote.notifications.post(notification_id, value)
+
+        done = self.world.transport.post_rdma(self.rank, dst_rank, size + 8, apply)
+        queue.post(done)
+        return ReturnCode.SUCCESS
+
+    def write_list(self, entries, dst_rank: int, queue_id: int = 0) -> ReturnCode:
+        """``gaspi_write_list``: several puts to one rank as one request.
+
+        ``entries`` is a sequence of
+        ``(segment_id, offset, size, remote_segment, remote_offset)``
+        tuples; data of all entries travels as a single transport message
+        (GPI-2 fuses list operations into one work request).
+        """
+        queue = self._queue(queue_id)
+        if queue.full:
+            return ReturnCode.QUEUE_FULL
+        if not entries:
+            raise GaspiUsageError("write_list needs at least one entry")
+        self._remote(dst_rank)
+        snapshots = []
+        total = 0
+        for segment_id, offset, size, remote_segment, remote_offset in entries:
+            snapshots.append(
+                (remote_segment, remote_offset,
+                 self.segments.get(segment_id).read_bytes(offset, size))
+            )
+            total += size
+
+        def apply() -> None:
+            target = self.world.contexts[dst_rank].segments
+            for remote_segment, remote_offset, data in snapshots:
+                target.get(remote_segment).write_bytes(remote_offset, data)
+
+        done = self.world.transport.post_rdma(self.rank, dst_rank, total, apply)
+        queue.post(done)
+        return ReturnCode.SUCCESS
+
+    def read_list(self, entries, src_rank: int, queue_id: int = 0) -> ReturnCode:
+        """``gaspi_read_list``: several gets from one rank as one request."""
+        queue = self._queue(queue_id)
+        if queue.full:
+            return ReturnCode.QUEUE_FULL
+        if not entries:
+            raise GaspiUsageError("read_list needs at least one entry")
+        self._remote(src_rank)
+        total = 0
+        local_targets = []
+        for segment_id, offset, size, remote_segment, remote_offset in entries:
+            local = self.segments.get(segment_id)
+            local.check_range(offset, size)
+            local_targets.append((local, offset))
+            total += size
+        remote_specs = [(e[3], e[4], e[2]) for e in entries]
+
+        def apply():
+            source = self.world.contexts[src_rank].segments
+            return [
+                source.get(seg).read_bytes(off, size)
+                for seg, off, size in remote_specs
+            ]
+
+        done = self.world.transport.post_rdma(self.rank, src_rank, total, apply)
+
+        def land(ev):
+            for (local, offset), data in zip(local_targets, ev.value[1]):
+                local.write_bytes(offset, data)
+
+        done.add_callback(land)
+        queue.post(done)
+        return ReturnCode.SUCCESS
+
+    def segment_delete(self, segment_id: int) -> None:
+        """``gaspi_segment_delete``: unregister a local segment."""
+        self.segments.delete(segment_id)
+
+    def wait(self, queue_id: int = 0, timeout: float = GASPI_BLOCK):
+        """``gaspi_wait``: flush the queue (generator).
+
+        Blocks until every operation outstanding at call time completed;
+        returns ``TIMEOUT`` otherwise — operations stuck on dead targets
+        stay queued (purge them in recovery with :meth:`queue_purge`).
+        """
+        limit = _clip_timeout(timeout)
+        deadline = None if limit is None else self.now + limit
+        for op in self._queue(queue_id).snapshot():
+            remaining = None if deadline is None else max(0.0, deadline - self.now)
+            ok, _ = yield WaitEvent(op, remaining)
+            if not ok:
+                return ReturnCode.TIMEOUT
+        return ReturnCode.SUCCESS
+
+    def queue_purge(self, queue_id: int = 0) -> int:
+        """GPI-2 FT extension ``gaspi_queue_purge``: drop stuck operations."""
+        return self._queue(queue_id).purge()
+
+    def queue_size(self, queue_id: int = 0) -> int:
+        return self._queue(queue_id).size
+
+    def queue_create(self) -> int:
+        """GPI-2 ``gaspi_queue_create``: add a queue, returning its id.
+
+        The paper's threaded FD monitors pings "on different communication
+        queues"; applications create extras the same way.
+        """
+        if len(self._queues) >= 1024:
+            raise GaspiUsageError("queue limit (1024) reached")
+        queue_id = len(self._queues)
+        self._queues.append(Queue(queue_id, self.world.config.queue_depth))
+        return queue_id
+
+    def queue_delete(self, queue_id: int) -> None:
+        """GPI-2 ``gaspi_queue_delete``: only the most recent queue, and
+        only when it has no outstanding operations."""
+        queue = self._queue(queue_id)
+        if queue_id != len(self._queues) - 1:
+            raise GaspiUsageError("only the last-created queue can be deleted")
+        if queue_id < self.world.config.n_queues:
+            raise GaspiUsageError("the initial queues cannot be deleted")
+        if queue.size:
+            raise GaspiUsageError(
+                f"queue {queue_id} still has {queue.size} outstanding ops"
+            )
+        self._queues.pop()
+
+    # ------------------------------------------------------------------
+    # notifications (consumer side)
+    # ------------------------------------------------------------------
+    def notify_waitsome(self, segment_id: int, first: int, num: int,
+                        timeout: float = GASPI_BLOCK):
+        """``gaspi_notify_waitsome`` (generator).
+
+        Returns ``(ReturnCode, notification_id)``; the id is -1 on timeout.
+        """
+        board = self.segments.get(segment_id).notifications
+        pending = board.pending_in(first, num)
+        if pending >= 0:
+            return (ReturnCode.SUCCESS, pending)
+        limit = _clip_timeout(timeout)
+        event = board.subscribe(first, num)
+        ok, nid = yield WaitEvent(event, limit)
+        if not ok:
+            board.unsubscribe(event)
+            return (ReturnCode.TIMEOUT, -1)
+        return (ReturnCode.SUCCESS, int(nid))
+
+    def notify_reset(self, segment_id: int, notification_id: int) -> int:
+        """``gaspi_notify_reset``: consume and clear a slot, return old value."""
+        return self.segments.get(segment_id).notifications.reset(notification_id)
+
+    # ------------------------------------------------------------------
+    # passive communication
+    # ------------------------------------------------------------------
+    def passive_send(self, dst_rank: int, payload: Any, nbytes: int = 256,
+                     timeout: float = GASPI_BLOCK):
+        """``gaspi_passive_send`` (generator): two-sided, CPU-involving send."""
+        self._remote(dst_rank)
+        done = self.world.transport.post_control(
+            self.rank, dst_rank, "passive", payload, nbytes
+        )
+        ok, _ = yield WaitEvent(done, _clip_timeout(timeout))
+        return ReturnCode.SUCCESS if ok else ReturnCode.TIMEOUT
+
+    def passive_receive(self, timeout: float = GASPI_BLOCK):
+        """``gaspi_passive_receive`` (generator).
+
+        Returns ``(ReturnCode, src_rank, payload)``.
+        """
+        inbox = self.world.transport.endpoint(self.rank).inbox("passive")
+        ok, msg = yield from inbox.get(_clip_timeout(timeout))
+        if not ok:
+            return (ReturnCode.TIMEOUT, -1, None)
+        return (ReturnCode.SUCCESS, msg.src, msg.payload)
+
+    # ------------------------------------------------------------------
+    # global atomics (on int64 cells of remote segments)
+    # ------------------------------------------------------------------
+    def atomic_fetch_add(self, dst_rank: int, segment_id: int, offset: int,
+                         delta: int, timeout: float = GASPI_BLOCK):
+        """``gaspi_atomic_fetch_add`` (generator): returns ``(ret, old)``."""
+        self._check_atomic(offset)
+        self._remote(dst_rank)
+
+        def apply() -> int:
+            cell = self.world.contexts[dst_rank].segments.get(segment_id).view(
+                np.int64, offset, 1
+            )
+            old = int(cell[0])
+            cell[0] = old + delta
+            return old
+
+        done = self.world.transport.post_rdma(self.rank, dst_rank, 8, apply)
+        ok, res = yield WaitEvent(done, _clip_timeout(timeout))
+        if not ok:
+            return (ReturnCode.TIMEOUT, None)
+        return (ReturnCode.SUCCESS, res[1])
+
+    def atomic_compare_swap(self, dst_rank: int, segment_id: int, offset: int,
+                            comparator: int, new_value: int,
+                            timeout: float = GASPI_BLOCK):
+        """``gaspi_atomic_compare_swap`` (generator): returns ``(ret, old)``."""
+        self._check_atomic(offset)
+        self._remote(dst_rank)
+
+        def apply() -> int:
+            cell = self.world.contexts[dst_rank].segments.get(segment_id).view(
+                np.int64, offset, 1
+            )
+            old = int(cell[0])
+            if old == comparator:
+                cell[0] = new_value
+            return old
+
+        done = self.world.transport.post_rdma(self.rank, dst_rank, 8, apply)
+        ok, res = yield WaitEvent(done, _clip_timeout(timeout))
+        if not ok:
+            return (ReturnCode.TIMEOUT, None)
+        return (ReturnCode.SUCCESS, res[1])
+
+    @staticmethod
+    def _check_atomic(offset: int) -> None:
+        if offset % 8 != 0:
+            raise GaspiUsageError(f"atomic offset {offset} not 8-byte aligned")
+
+    # ------------------------------------------------------------------
+    # groups and collectives
+    # ------------------------------------------------------------------
+    def group_create(self, tag: int = 0) -> Group:
+        """``gaspi_group_create``; pass the recovery epoch as ``tag``."""
+        return Group(tag=tag)
+
+    @staticmethod
+    def group_add(group: Group, rank: int) -> None:
+        """``gaspi_group_add``."""
+        group.add(rank)
+
+    def group_commit(self, group: Group, timeout: float = GASPI_BLOCK):
+        """``gaspi_group_commit`` (generator): blocking collective.
+
+        Its cost is linear in group size (connection establishment) — the
+        dominant part of the paper's OHF2 rebuild overhead.
+        """
+        if self.rank not in group:
+            raise GaspiUsageError(f"rank {self.rank} commits group it is not part of")
+        costs = self.world.engine.costs
+        event = self.world.engine.arrive(
+            "commit", group.identity(), group.coll_seq, self.rank,
+            group.members, cost=costs.commit(group.size),
+        )
+        ok, _ = yield WaitEvent(event, _clip_timeout(timeout))
+        if not ok:
+            return ReturnCode.TIMEOUT
+        group.coll_seq += 1
+        group.committed = True
+        return ReturnCode.SUCCESS
+
+    @staticmethod
+    def group_delete(group: Group) -> None:
+        """``gaspi_group_delete``: the handle must not be used afterwards."""
+        group.committed = False
+
+    def barrier(self, group: Optional[Group] = None, timeout: float = GASPI_BLOCK):
+        """``gaspi_barrier`` (generator)."""
+        group = group or self.group_all
+        group.require_committed()
+        if self.rank not in group:
+            raise GaspiUsageError(f"rank {self.rank} not in group")
+        costs = self.world.engine.costs
+        event = self.world.engine.arrive(
+            "barrier", group.identity(), group.coll_seq, self.rank,
+            group.members, cost=costs.barrier(group.size),
+        )
+        ok, _ = yield WaitEvent(event, _clip_timeout(timeout))
+        if not ok:
+            return ReturnCode.TIMEOUT
+        group.coll_seq += 1
+        return ReturnCode.SUCCESS
+
+    def allreduce(self, values, op: AllreduceOp, group: Optional[Group] = None,
+                  timeout: float = GASPI_BLOCK):
+        """``gaspi_allreduce`` (generator): returns ``(ret, reduced array)``."""
+        group = group or self.group_all
+        group.require_committed()
+        if self.rank not in group:
+            raise GaspiUsageError(f"rank {self.rank} not in group")
+        contribution = np.array(values, copy=True)
+        costs = self.world.engine.costs
+        event = self.world.engine.arrive(
+            "allreduce", group.identity(), group.coll_seq, self.rank,
+            group.members, contribution=contribution,
+            finisher=self.world.engine.reduce_finisher(op),
+            cost=costs.allreduce(group.size, contribution.nbytes),
+        )
+        ok, result = yield WaitEvent(event, _clip_timeout(timeout))
+        if not ok:
+            return (ReturnCode.TIMEOUT, None)
+        group.coll_seq += 1
+        return (ReturnCode.SUCCESS, result)
+
+    # ------------------------------------------------------------------
+    # fault tolerance surface
+    # ------------------------------------------------------------------
+    def proc_ping(self, dst_rank: int, timeout: float = GASPI_BLOCK):
+        """GPI-2 extension ``gaspi_proc_ping`` (generator).
+
+        ``SUCCESS`` from a live, reachable peer; ``ERROR`` once the
+        transport diagnosed a broken channel (also marking the peer
+        ``CORRUPT`` in the local state vector); ``TIMEOUT`` if the caller's
+        own patience ran out first.
+        """
+        self._remote(dst_rank)
+        done = self.world.transport.post_ping(self.rank, dst_rank)
+        ok, res = yield WaitEvent(done, _clip_timeout(timeout))
+        if not ok:
+            return ReturnCode.TIMEOUT
+        alive, _ = res
+        if alive:
+            return ReturnCode.SUCCESS
+        self.state_vector.mark_corrupt(dst_rank)
+        return ReturnCode.ERROR
+
+    def proc_ping_post(self, dst_rank: int):
+        """Post a ping without blocking; returns its completion event.
+
+        The event fires with ``(alive, None)`` once the transport resolves
+        the probe.  This is how the paper's *threaded* fault detector
+        monitors "one-sided pings in parallel on different communication
+        queues": post several, then harvest.  Unlike :meth:`proc_ping`, the
+        state vector is *not* updated automatically — call
+        :meth:`note_ping_result` with the outcome.
+        """
+        self._remote(dst_rank)
+        return self.world.transport.post_ping(self.rank, dst_rank)
+
+    def note_ping_result(self, dst_rank: int, alive: bool) -> ReturnCode:
+        """Record a harvested ping outcome in the state vector."""
+        if alive:
+            return ReturnCode.SUCCESS
+        self.state_vector.mark_corrupt(dst_rank)
+        return ReturnCode.ERROR
+
+    def proc_kill(self, dst_rank: int, timeout: float = GASPI_BLOCK):
+        """GPI-2 extension ``gaspi_proc_kill`` (generator).
+
+        Forces the target to die if it is reachable from here (the recovery
+        protocol has *every* healthy rank issue the kill, so any working
+        path enforces it — this is how false-positive detections are made
+        safe).  Returns ``SUCCESS`` also for already-dead targets.
+        """
+        self._remote(dst_rank)
+        done = self.world.transport.post_kill(self.rank, dst_rank)
+        ok, _ = yield WaitEvent(done, _clip_timeout(timeout))
+        if not ok:
+            return ReturnCode.TIMEOUT
+        self.state_vector.mark_corrupt(dst_rank)
+        return ReturnCode.SUCCESS
+
+    def state_vec_get(self) -> np.ndarray:
+        """``gaspi_state_vec_get``: copy of the local health vector."""
+        return self.state_vector.snapshot()
+
+    def health_of(self, rank: int) -> HealthState:
+        return self.state_vector.state_of(rank)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GaspiContext rank={self.rank}/{self.world.n_ranks}>"

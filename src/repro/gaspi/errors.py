@@ -1,0 +1,12 @@
+"""Exceptions for *local programming errors* in GASPI usage.
+
+Runtime conditions (timeouts, dead peers) are reported through
+:class:`repro.gaspi.constants.ReturnCode` as in the C API; conditions that
+can only arise from incorrect calls (bad offsets, unknown segments, invalid
+notification values) raise :class:`GaspiUsageError` instead — in Python an
+exception is a far clearer signal for a bug than an error code.
+"""
+
+
+class GaspiUsageError(Exception):
+    """A GASPI procedure was called with locally-invalid arguments."""

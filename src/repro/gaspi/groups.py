@@ -1,0 +1,65 @@
+"""Groups: GASPI's analogue of MPI communicators.
+
+A group is built locally (``group_create`` + ``group_add``) and becomes
+usable only after the *collective* ``group_commit`` — whose blocking nature
+is the paper's second recovery overhead (OHF2).  Identity across ranks is
+by (tag, membership): all ranks of an SPMD program build the "same" group
+with the same member set; the FT layer passes the recovery epoch as tag so
+that successive reconstructions never collide in the collective engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.gaspi.errors import GaspiUsageError
+
+
+class Group:
+    """A (possibly not yet committed) ordered set of ranks."""
+
+    __slots__ = ("tag", "_members", "committed", "coll_seq")
+
+    def __init__(self, tag: int = 0) -> None:
+        self.tag = tag
+        self._members: List[int] = []
+        self.committed = False
+        #: per-rank collective sequence number on this group; incremented
+        #: only on collective *success* so timed-out calls retry the same
+        #: collective instance (GASPI's retry-with-same-parameters rule).
+        self.coll_seq = 0
+
+    # ------------------------------------------------------------------
+    def add(self, rank: int) -> None:
+        """Add a rank (``gaspi_group_add``); only before commit."""
+        if self.committed:
+            raise GaspiUsageError("cannot add ranks to a committed group")
+        if rank < 0:
+            raise GaspiUsageError(f"invalid rank {rank}")
+        if rank in self._members:
+            raise GaspiUsageError(f"rank {rank} already in group")
+        self._members.append(rank)
+
+    @property
+    def members(self) -> Tuple[int, ...]:
+        """Membership in deterministic (sorted) order."""
+        return tuple(sorted(self._members))
+
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, rank: int) -> bool:
+        return rank in self._members
+
+    def identity(self) -> Tuple:
+        """Cross-rank identity used to match collective instances."""
+        return (self.tag, self.members)
+
+    def require_committed(self) -> None:
+        if not self.committed:
+            raise GaspiUsageError("group used before gaspi_group_commit")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "committed" if self.committed else "building"
+        return f"<Group tag={self.tag} {state} members={self.members}>"

@@ -1,0 +1,88 @@
+"""Notifications: GASPI's remote-completion flags.
+
+Each segment owns an array of notification slots.  ``gaspi_notify`` (and the
+fused ``gaspi_write_notify``) set a *non-zero* value in a slot of the remote
+segment; the owner waits with ``notify_waitsome`` over a slot range and then
+atomically consumes the value with ``notify_reset``.  This is the mechanism
+the paper's spMVM library uses to learn its halo values have landed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.sim import Event
+from repro.gaspi.errors import GaspiUsageError
+
+
+class NotificationBoard:
+    """Notification slots of one segment plus their waiters."""
+
+    __slots__ = ("values", "_waiters")
+
+    def __init__(self, n_slots: int) -> None:
+        if n_slots <= 0:
+            raise GaspiUsageError("need at least one notification slot")
+        self.values = np.zeros(n_slots, dtype=np.uint64)
+        # (first, num, event) — fired with the lowest pending slot id in range
+        self._waiters: List[Tuple[int, int, Event]] = []
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.values)
+
+    def check_id(self, notification_id: int) -> None:
+        if not (0 <= notification_id < self.n_slots):
+            raise GaspiUsageError(
+                f"notification id {notification_id} outside [0, {self.n_slots})"
+            )
+
+    # ------------------------------------------------------------------
+    # producer side (executed at message delivery by the transport)
+    # ------------------------------------------------------------------
+    def post(self, notification_id: int, value: int) -> None:
+        """Set a slot (remote ``gaspi_notify`` landing)."""
+        self.check_id(notification_id)
+        if value == 0:
+            raise GaspiUsageError("notification value must be non-zero")
+        self.values[notification_id] = value
+        self._wake(notification_id)
+
+    def _wake(self, notification_id: int) -> None:
+        still_waiting: List[Tuple[int, int, Event]] = []
+        for first, num, event in self._waiters:
+            if first <= notification_id < first + num:
+                event.succeed(notification_id)
+            else:
+                still_waiting.append((first, num, event))
+        self._waiters = still_waiting
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def pending_in(self, first: int, num: int) -> int:
+        """Lowest set slot id in ``[first, first+num)``, or -1 if none."""
+        self.check_id(first)
+        if num <= 0 or first + num > self.n_slots:
+            raise GaspiUsageError(f"bad notification range [{first}, {first + num})")
+        window = self.values[first : first + num]
+        hits = np.nonzero(window)[0]
+        return int(first + hits[0]) if hits.size else -1
+
+    def subscribe(self, first: int, num: int) -> Event:
+        """Register a waiter on the range (used by ``notify_waitsome``)."""
+        event = Event(name=f"notify[{first}:{first + num})")
+        self._waiters.append((first, num, event))
+        return event
+
+    def unsubscribe(self, event: Event) -> None:
+        self._waiters = [(f, n, e) for (f, n, e) in self._waiters if e is not event]
+
+    def reset(self, notification_id: int) -> int:
+        """Consume a slot: return its old value and clear it."""
+        self.check_id(notification_id)
+        old = int(self.values[notification_id])
+        self.values[notification_id] = 0
+        return old

@@ -1,0 +1,64 @@
+"""Communication queues: completion tracking for one-sided operations.
+
+Posting a one-sided operation attaches its transport completion event to a
+queue; ``gaspi_wait`` flushes the queue — it blocks until every operation
+outstanding *at call time* has completed, or the timeout elapses.  An
+operation whose target died never completes, so the queue keeps returning
+``GASPI_TIMEOUT``: exactly what the paper's workers observe while talking
+to a failed rank.  ``queue_purge`` (a GPI-2 fault-tolerance extension)
+drops such stuck operations during recovery.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim import Event
+from repro.gaspi.errors import GaspiUsageError
+
+
+class Queue:
+    """One communication queue of one rank."""
+
+    __slots__ = ("queue_id", "depth", "_outstanding")
+
+    def __init__(self, queue_id: int, depth: int = 4096) -> None:
+        if depth <= 0:
+            raise GaspiUsageError("queue depth must be positive")
+        self.queue_id = queue_id
+        self.depth = depth
+        self._outstanding: List[Event] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of not-yet-completed operations."""
+        self._reap()
+        return len(self._outstanding)
+
+    @property
+    def full(self) -> bool:
+        return self.size >= self.depth
+
+    def post(self, completion: Event) -> None:
+        """Attach a posted operation's completion event."""
+        self._outstanding.append(completion)
+
+    def purge(self) -> int:
+        """Drop every outstanding operation (GPI-2 ``gaspi_queue_purge``).
+
+        Returns how many operations were dropped.  Used by the recovery
+        path to clear operations stuck on dead targets.
+        """
+        self._reap()
+        dropped = len(self._outstanding)
+        self._outstanding = []
+        return dropped
+
+    def snapshot(self) -> List[Event]:
+        """Operations outstanding right now (the set ``wait`` must flush)."""
+        self._reap()
+        return list(self._outstanding)
+
+    def _reap(self) -> None:
+        self._outstanding = [ev for ev in self._outstanding if not ev.fired]

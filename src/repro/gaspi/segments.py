@@ -1,0 +1,98 @@
+"""Segments: the registered, remotely-accessible memory of each rank.
+
+A GASPI segment is a contiguous block of memory that one-sided operations
+from any rank can read and write.  Here a segment is a NumPy ``uint8``
+buffer plus a :class:`NotificationBoard`.  Applications view slices of the
+buffer with ``Segment.view(dtype, offset, count)`` — a zero-copy NumPy view,
+so a remote write is immediately visible to the owner (exactly the PGAS
+property the paper's failure-acknowledgment flags rely on).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.gaspi.errors import GaspiUsageError
+from repro.gaspi.notifications import NotificationBoard
+
+
+class Segment:
+    """One registered memory block owned by one rank."""
+
+    __slots__ = ("segment_id", "size", "buf", "notifications")
+
+    def __init__(self, segment_id: int, size: int, n_notifications: int = 1024) -> None:
+        if size <= 0:
+            raise GaspiUsageError(f"segment size must be positive, got {size}")
+        self.segment_id = segment_id
+        self.size = int(size)
+        self.buf = np.zeros(self.size, dtype=np.uint8)
+        self.notifications = NotificationBoard(n_notifications)
+
+    # ------------------------------------------------------------------
+    def check_range(self, offset: int, nbytes: int) -> None:
+        """Validate an access window (raises on out-of-range)."""
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise GaspiUsageError(
+                f"access [{offset}, {offset + nbytes}) outside segment "
+                f"{self.segment_id} of size {self.size}"
+            )
+
+    def read_bytes(self, offset: int, nbytes: int) -> bytes:
+        """Snapshot ``nbytes`` at ``offset`` (bounds-checked)."""
+        self.check_range(offset, nbytes)
+        return self.buf[offset : offset + nbytes].tobytes()
+
+    def write_bytes(self, offset: int, data: bytes) -> None:
+        """Copy ``data`` into the segment at ``offset`` (bounds-checked)."""
+        self.check_range(offset, len(data))
+        self.buf[offset : offset + len(data)] = np.frombuffer(data, dtype=np.uint8)
+
+    def view(self, dtype, offset: int = 0, count: Optional[int] = None) -> np.ndarray:
+        """Zero-copy typed view into the segment.
+
+        ``count`` is in elements of ``dtype``; ``None`` extends to the end
+        of the segment (truncated to whole elements).
+        """
+        dt = np.dtype(dtype)
+        if count is None:
+            count = (self.size - offset) // dt.itemsize
+        nbytes = count * dt.itemsize
+        self.check_range(offset, nbytes)
+        return self.buf[offset : offset + nbytes].view(dt)
+
+
+class SegmentTable:
+    """The set of segments registered by one rank."""
+
+    def __init__(self) -> None:
+        self._segments: Dict[int, Segment] = {}
+
+    def create(self, segment_id: int, size: int, n_notifications: int = 1024) -> Segment:
+        if segment_id in self._segments:
+            raise GaspiUsageError(f"segment {segment_id} already exists")
+        seg = Segment(segment_id, size, n_notifications)
+        self._segments[segment_id] = seg
+        return seg
+
+    def get(self, segment_id: int) -> Segment:
+        try:
+            return self._segments[segment_id]
+        except KeyError:
+            raise GaspiUsageError(f"segment {segment_id} does not exist") from None
+
+    def delete(self, segment_id: int) -> None:
+        if segment_id not in self._segments:
+            raise GaspiUsageError(f"segment {segment_id} does not exist")
+        del self._segments[segment_id]
+
+    def __contains__(self, segment_id: int) -> bool:
+        return segment_id in self._segments
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self._segments.values())
+
+    def __len__(self) -> int:
+        return len(self._segments)

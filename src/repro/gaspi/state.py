@@ -1,0 +1,44 @@
+"""The error state vector (``gaspi_state_vec``).
+
+Each rank keeps a local vector with one health entry per rank.  The vector
+is updated after every erroneous non-local operation (here: failed pings
+and kill-confirmed deaths) and queried with ``state_vec_get`` to tell a
+mere timeout apart from a broken peer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaspi.constants import HealthState
+from repro.gaspi.errors import GaspiUsageError
+
+
+class StateVector:
+    """Per-rank local view of every rank's health."""
+
+    __slots__ = ("_states",)
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks <= 0:
+            raise GaspiUsageError("state vector needs at least one rank")
+        self._states = np.full(n_ranks, HealthState.HEALTHY, dtype=np.uint8)
+
+    def mark_corrupt(self, rank: int) -> None:
+        self._check(rank)
+        self._states[rank] = HealthState.CORRUPT
+
+    def state_of(self, rank: int) -> HealthState:
+        self._check(rank)
+        return HealthState(int(self._states[rank]))
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the vector (what ``gaspi_state_vec_get`` returns)."""
+        return self._states.copy()
+
+    def corrupt_ranks(self) -> list:
+        return [int(r) for r in np.nonzero(self._states != HealthState.HEALTHY)[0]]
+
+    def _check(self, rank: int) -> None:
+        if not (0 <= rank < len(self._states)):
+            raise GaspiUsageError(f"rank {rank} outside [0, {len(self._states)})")

@@ -1,0 +1,28 @@
+"""Performance model of the paper's testbed (LiMa @ RRZE).
+
+Absolute times in the reproduction come from this package and nowhere
+else: a machine description (:mod:`machine`), a roofline kernel-time model
+(:mod:`roofline`) and the calibration constants that pin the simulated
+timings to the paper's measured anchors (:mod:`calibration`).
+"""
+
+from repro.perfmodel.machine import LiMaNode, LIMA
+from repro.perfmodel.roofline import RooflineModel
+from repro.perfmodel.calibration import (
+    PAPER_BASELINE_RUNTIME,
+    PAPER_ITERATIONS,
+    PAPER_ITERATION_TIME,
+    CalibratedTimeModel,
+    paper_time_model,
+)
+
+__all__ = [
+    "LiMaNode",
+    "LIMA",
+    "RooflineModel",
+    "PAPER_BASELINE_RUNTIME",
+    "PAPER_ITERATIONS",
+    "PAPER_ITERATION_TIME",
+    "CalibratedTimeModel",
+    "paper_time_model",
+]

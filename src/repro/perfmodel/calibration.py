@@ -1,0 +1,85 @@
+"""Calibration: pin the model's absolute times to the paper's anchors.
+
+Measured anchors from the paper (Sect. VI):
+
+* baseline runtime of the 3500-iteration Lanczos run on 256 nodes is
+  ~1450 s (Figure 4, 'w/o HC, w/o CP' bar) → **0.414 s per iteration**;
+* FD ping cost ~1 ms per process, plus a small per-scan setup offset
+  fitted from Table I (scan(8) = 10 ms, scan(256) = 255 ms);
+* failure detection + acknowledgment ≈ 5.3 s flat in node count with the
+  3 s scan period → transport error-detection timeout 3.5 s;
+* re-initialisation ≈ 10 s, dominated by the blocking group commit
+  → 27 ms/rank commit cost.
+
+The pure roofline predicts a far faster iteration than measured (the
+paper's runs communicate large halos and run 12 threads/process with
+imperfect scaling, none of which the clean roofline sees), so the
+iteration-time anchor is applied as an explicit efficiency fit — the
+standard way to reconcile a first-principles model with a measured
+machine.  All shape results (scaling, decompositions, crossovers) are
+insensitive to this scalar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.roofline import RooflineModel
+
+#: Figure 4 baseline ('w/o HC, w/o CP'), seconds
+PAPER_BASELINE_RUNTIME = 1450.0
+#: fixed iteration count used for benchmarking (paper Sect. VI)
+PAPER_ITERATIONS = 3500
+#: derived per-iteration anchor
+PAPER_ITERATION_TIME = PAPER_BASELINE_RUNTIME / PAPER_ITERATIONS
+
+#: Table I fit: scan ~ setup + 1 ms/process
+PING_SCAN_SETUP = 2.0e-3
+PING_COST = 1.0e-3
+
+#: paper's global checkpoint volume (two Lanczos vectors + coefficients)
+PAPER_CHECKPOINT_BYTES = int(1.9e9)
+#: paper workload dimensions
+PAPER_MATRIX_ROWS = 120_000_000
+PAPER_MATRIX_NNZ = 1_500_000_000
+PAPER_WORKERS = 256
+
+
+@dataclass
+class CalibratedTimeModel:
+    """A time model that reproduces a target per-iteration time exactly.
+
+    Splits the anchored iteration time between the spMVM and the vector
+    operations in the roofline's predicted proportion, then scales both so
+    their sum matches the anchor for the *calibration* problem size; other
+    problem sizes scale linearly with their roofline estimate.
+    """
+
+    roofline: RooflineModel
+    scale: float
+
+    @classmethod
+    def fit(cls, nnz_local: int, rows_local: int,
+            target_iteration_time: float,
+            roofline: RooflineModel = None) -> "CalibratedTimeModel":
+        roofline = roofline or RooflineModel()
+        predicted = roofline.iteration_time(nnz_local, rows_local)
+        return cls(roofline=roofline, scale=target_iteration_time / predicted)
+
+    def spmv_time(self, nnz_local: int, rows_local: int) -> float:
+        return self.scale * self.roofline.spmv_time(nnz_local, rows_local)
+
+    def vector_ops_time(self, rows_local: int) -> float:
+        return self.scale * self.roofline.vector_ops_time(rows_local)
+
+    def iteration_time(self, nnz_local: int, rows_local: int) -> float:
+        return self.spmv_time(nnz_local, rows_local) + \
+            self.vector_ops_time(rows_local)
+
+
+def paper_time_model(n_workers: int = PAPER_WORKERS) -> CalibratedTimeModel:
+    """Time model anchored to the paper's 256-node baseline."""
+    rows_local = PAPER_MATRIX_ROWS // PAPER_WORKERS
+    nnz_local = PAPER_MATRIX_NNZ // PAPER_WORKERS
+    model = CalibratedTimeModel.fit(nnz_local, rows_local, PAPER_ITERATION_TIME)
+    return model

@@ -1,0 +1,31 @@
+"""Machine description of the paper's testbed.
+
+LiMa at RRZE (paper Sect. V): two Intel Xeon X5650 "Westmere" chips per
+node at 2.66 GHz (12 cores), 24 GB RAM in two NUMA domains, Mellanox QDR
+InfiniBand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LiMaNode:
+    """Per-node hardware characteristics used by the roofline model."""
+
+    name: str = "LiMa (2x Xeon X5650 Westmere)"
+    cores: int = 12
+    clock_hz: float = 2.66e9
+    #: aggregate attainable memory bandwidth (both NUMA domains, stream-like)
+    memory_bandwidth: float = 40.0e9
+    #: double-precision peak (12 cores x 4 flops/cycle)
+    peak_flops: float = 12 * 4 * 2.66e9
+    memory_bytes: int = 24 * 2**30
+    #: QDR InfiniBand
+    network_bandwidth: float = 3.2e9
+    network_latency: float = 1.3e-6
+
+
+#: the default testbed node
+LIMA = LiMaNode()

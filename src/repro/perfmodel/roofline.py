@@ -1,0 +1,55 @@
+"""Roofline time model for the spMVM-dominated Lanczos iteration.
+
+spMVM is memory-bound: per non-zero it streams a value (8 B) + column
+index (4 B) and gathers one RHS entry; per row it streams the row pointer
+and writes the result.  The Lanczos step adds a handful of vector sweeps.
+An ``efficiency`` factor (0 < eff <= 1) absorbs everything the clean
+roofline cannot see (NUMA placement, short rows, TLB, intra-node
+synchronisation); it is fitted once against the paper's measured baseline
+in :mod:`repro.perfmodel.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.machine import LiMaNode, LIMA
+
+#: bytes moved per CSR non-zero: value (8) + column index (4) + RHS gather
+#: amortised to ~8 effective bytes under reasonable cache reuse
+BYTES_PER_NNZ = 20.0
+#: bytes per row: row pointer + result write(+read)
+BYTES_PER_ROW = 20.0
+#: Lanczos vector traffic per row per step: w, v_j, v_{j-1} updates, dots
+BYTES_PER_ROW_VECOPS = 7 * 8.0
+
+
+@dataclass
+class RooflineModel:
+    """Kernel-time estimates for one rank living on one node."""
+
+    node: LiMaNode = LIMA
+    #: fraction of roofline bandwidth actually attained
+    efficiency: float = 1.0
+    #: ranks sharing the node's memory bandwidth
+    ranks_per_node: int = 1
+
+    @property
+    def _bandwidth(self) -> float:
+        return self.node.memory_bandwidth * self.efficiency / self.ranks_per_node
+
+    def spmv_time(self, nnz_local: int, rows_local: int) -> float:
+        """Seconds for one local spMVM kernel invocation."""
+        traffic = nnz_local * BYTES_PER_NNZ + rows_local * BYTES_PER_ROW
+        return traffic / self._bandwidth
+
+    def vector_ops_time(self, rows_local: int) -> float:
+        """Seconds for the non-spMVM vector work of one Lanczos step."""
+        return rows_local * BYTES_PER_ROW_VECOPS / self._bandwidth
+
+    def iteration_time(self, nnz_local: int, rows_local: int) -> float:
+        return self.spmv_time(nnz_local, rows_local) + self.vector_ops_time(rows_local)
+
+    def checkpoint_pack_time(self, nbytes: int) -> float:
+        """Copy cost of assembling a checkpoint payload in memory."""
+        return 2.0 * nbytes / self._bandwidth

@@ -1,0 +1,62 @@
+"""FIFO channel: the message-queue primitive used by transports and helpers.
+
+``put`` is a plain (non-blocking, unbounded) call; ``get`` is a generator
+helper that blocks until an item arrives or the timeout elapses.  Items are
+delivered in FIFO order to getters in FIFO order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from repro.sim.events import Event, WaitEvent
+
+
+class Channel:
+    """Unbounded FIFO queue with blocking ``get``."""
+
+    __slots__ = ("name", "_items", "_getters")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def try_get(self) -> Tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def get(self, timeout: Optional[float] = None):
+        """Generator helper: wait for an item.
+
+        Usage: ``ok, item = yield from chan.get(timeout)``.  On timeout the
+        pending reservation is withdrawn, so no item is ever lost to an
+        abandoned getter.
+        """
+        if self._items:
+            return True, self._items.popleft()
+        ev = Event(name=f"{self.name}.get")
+        self._getters.append(ev)
+        ok, item = yield WaitEvent(ev, timeout)
+        if not ok:
+            # Withdraw the reservation; the event cannot fire afterwards
+            # because put() only fires events it pops from this deque.
+            try:
+                self._getters.remove(ev)
+            except ValueError:  # pragma: no cover - fired at the same instant
+                pass
+            return False, None
+        return True, item

@@ -1,0 +1,205 @@
+"""The simulation kernel: virtual clock, event heap, process scheduling.
+
+The kernel is a classic calendar-queue DES loop.  All state changes happen
+inside scheduled thunks popped from a single heap ordered by
+``(time, sequence)``; the sequence number makes execution order fully
+deterministic even for simultaneous events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.errors import SimDeadlock, SimError
+from repro.sim.events import Event, Sleep, WaitEvent
+from repro.sim.process import Process, ProcessState
+
+
+class Timer:
+    """Handle for a scheduled callback; supports lazy cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (safe to call repeatedly)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Timer") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with generator processes."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Timer] = []
+        self._seq: int = 0
+        self._processes: List[Process] = []
+        self._trace: Optional[List[tuple]] = None
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Timer:
+        """Run ``fn()`` after ``delay`` virtual seconds; returns a handle."""
+        if delay < 0:
+            raise SimError(f"cannot schedule in the past (delay={delay})")
+        timer = Timer(self.now + delay, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, timer)
+        return timer
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> Timer:
+        """Run ``fn()`` at absolute virtual ``time`` (must not be past)."""
+        return self.schedule(time - self.now, fn)
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Register generator ``gen`` as a process, starting it at ``now``."""
+        proc = Process(self, gen, name=name or f"proc-{len(self._processes)}")
+        self._processes.append(proc)
+        self.schedule(0.0, lambda: self._step(proc, None))
+        return proc
+
+    def spawn_at(self, time: float, gen: Generator, name: str = "") -> Process:
+        """Register ``gen`` as a process that starts at absolute ``time``."""
+        proc = Process(self, gen, name=name or f"proc-{len(self._processes)}")
+        self._processes.append(proc)
+        self.schedule_at(time, lambda: self._step(proc, None))
+        return proc
+
+    @property
+    def processes(self) -> List[Process]:
+        """All processes ever spawned (including terminated ones)."""
+        return list(self._processes)
+
+    # ------------------------------------------------------------------
+    # tracing (used by determinism tests)
+    # ------------------------------------------------------------------
+    def enable_trace(self) -> None:
+        """Record ``(time, process-name, kind)`` tuples for every step."""
+        self._trace = []
+
+    @property
+    def trace(self) -> List[tuple]:
+        return list(self._trace or [])
+
+    # ------------------------------------------------------------------
+    # the main loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, check_deadlock: bool = False) -> float:
+        """Process events until the heap drains or ``until`` is reached.
+
+        Returns the final virtual time.  With ``check_deadlock=True``, raises
+        :class:`SimDeadlock` if the heap drains while live processes are
+        still blocked (every one of them is then waiting on an event that can
+        never fire, since nothing remains to fire it).
+        """
+        heap = self._heap
+        while heap:
+            timer = heap[0]
+            if timer.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and timer.time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(heap)
+            if timer.time < self.now:  # pragma: no cover - internal invariant
+                raise SimError("time went backwards")
+            self.now = timer.time
+            timer.fn()
+        if check_deadlock:
+            stuck = [p for p in self._processes if p.state is ProcessState.WAITING]
+            if stuck:
+                names = ", ".join(p.name for p in stuck[:8])
+                raise SimDeadlock(f"{len(stuck)} process(es) blocked forever: {names}")
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def step_events(self, n: int = 1) -> int:
+        """Process up to ``n`` pending events; returns how many ran."""
+        ran = 0
+        while ran < n and self._heap:
+            timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self.now = timer.time
+            timer.fn()
+            ran += 1
+        return ran
+
+    # ------------------------------------------------------------------
+    # process stepping (kernel-internal, used by Process as well)
+    # ------------------------------------------------------------------
+    def _step(self, proc: Process, send_value: Any) -> None:
+        """Advance ``proc`` by one yield, interpreting its request."""
+        if not proc.alive:
+            return
+        proc.state = ProcessState.RUNNING
+        proc._cleanup = None
+        if self._trace is not None:
+            self._trace.append((self.now, proc.name, "step"))
+        try:
+            request = proc.gen.send(send_value)
+        except StopIteration as stop:
+            proc._finish(stop.value)
+            return
+        self._dispatch(proc, request)
+
+    def _dispatch(self, proc: Process, request: Any) -> None:
+        if isinstance(request, Sleep):
+            proc.state = ProcessState.WAITING
+            timer = self.schedule(request.dt, lambda: self._step(proc, None))
+            proc._cleanup = timer.cancel
+        elif isinstance(request, WaitEvent):
+            self._wait_event(proc, request.event, request.timeout)
+        elif isinstance(request, Event):
+            self._wait_event(proc, request, None)
+        else:
+            raise SimError(
+                f"process {proc.name!r} yielded unsupported request {request!r}; "
+                "did you forget 'yield from' on a blocking call?"
+            )
+
+    def _wait_event(self, proc: Process, event: Event, timeout: Optional[float]) -> None:
+        if event.fired:
+            # Resume on the heap (not inline) to keep ordering uniform.
+            proc.state = ProcessState.WAITING
+            timer = self.schedule(0.0, lambda: self._step(proc, (True, event.value)))
+            proc._cleanup = timer.cancel
+            return
+
+        proc.state = ProcessState.WAITING
+        timer_box: List[Optional[Timer]] = [None]
+
+        def on_event(ev: Event) -> None:
+            if timer_box[0] is not None:
+                timer_box[0].cancel()
+            self._step(proc, (True, ev.value))
+
+        def on_timeout() -> None:
+            event.discard_callback(on_event)
+            self._step(proc, (False, None))
+
+        event.add_callback(on_event)
+        if timeout is not None:
+            timer_box[0] = self.schedule(timeout, on_timeout)
+
+        def cleanup() -> None:
+            event.discard_callback(on_event)
+            if timer_box[0] is not None:
+                timer_box[0].cancel()
+
+        proc._cleanup = cleanup

@@ -1,0 +1,88 @@
+"""Process wrapper around application generators.
+
+A :class:`Process` owns one generator.  The kernel steps the generator and a
+process can be killed at any time (modelling a fail-stop failure): the
+generator is closed, any pending wait is deregistered, and the process never
+runs again.  Termination (normal or killed) fires ``done_event`` so that
+other processes can join on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle state of a simulated process."""
+
+    NEW = "new"
+    RUNNING = "running"
+    WAITING = "waiting"
+    DONE = "done"
+    KILLED = "killed"
+
+
+class Process:
+    """A generator-coroutine scheduled by the :class:`Simulator`."""
+
+    __slots__ = ("sim", "gen", "name", "state", "result", "done_event", "_cleanup")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.state = ProcessState.NEW
+        self.result: Any = None
+        self.done_event = Event(name=f"{name}.done")
+        # Callable deregistering whatever the process currently waits on.
+        self._cleanup: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True while the process can still run."""
+        return self.state not in (ProcessState.DONE, ProcessState.KILLED)
+
+    def kill(self) -> None:
+        """Fail-stop the process immediately.
+
+        Idempotent.  The generator is closed (running ``finally`` blocks, as
+        a real process's OS-level teardown would not — application code in
+        this repo does not rely on ``finally`` for protocol actions), the
+        pending wait (if any) is deregistered and ``done_event`` fires.
+        """
+        if not self.alive:
+            return
+        if self._cleanup is not None:
+            self._cleanup()
+            self._cleanup = None
+        self.state = ProcessState.KILLED
+        self.gen.close()
+        self.done_event.succeed(None)
+
+    def join(self, timeout: Optional[float] = None):
+        """Generator helper: wait for this process to terminate.
+
+        Yields to the kernel; resumes with ``(ok, result)`` where ``ok`` is
+        ``False`` on timeout.  Usage: ``ok, res = yield from proc.join()``.
+        """
+        from repro.sim.events import WaitEvent  # local to avoid cycle at import
+
+        ok, _ = yield WaitEvent(self.done_event, timeout)
+        return (ok, self.result if ok else None)
+
+    # ------------------------------------------------------------------
+    def _finish(self, value: Any) -> None:
+        """Kernel-internal: mark normal termination with ``value``."""
+        self.state = ProcessState.DONE
+        self.result = value
+        self.done_event.succeed(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} {self.state.value}>"

@@ -1,0 +1,127 @@
+"""The paper's showcase application: a fault-tolerant Lanczos eigensolver.
+
+Sect. V restructuring, item by item:
+
+* pre-processing (matrix generation + halo plan exchange) runs once and is
+  checkpointed immediately ("each process writes a checkpoint after the
+  pre-processing stage ... the rescue process is informed about the
+  communicating partners") — rescues restore it instead of redoing setup;
+* the periodic checkpoint holds "two consecutive Lanczos vectors, alpha,
+  and beta" (plus, implicitly, the iteration count) every
+  ``checkpoint_interval`` iterations (paper: 500);
+* every blocking communication call checks the failure-ack flag and backs
+  off into recovery (handled by the guard plumbed through the spMVM
+  library and the reductions);
+* after recovery, the program resumes from the agreed checkpoint version
+  and redoes the lost iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.ft.app import FTContext, FTProgram
+from repro.spmvm.dist_matrix import DistMatrix, distribute_matrix
+from repro.spmvm.matgen.base import RowGenerator
+from repro.spmvm.spmv import SpMVMEngine
+from repro.solvers.lanczos import DistributedLanczos, LanczosState
+
+
+class FTLanczos(FTProgram):
+    """Fault-tolerant Lanczos for the low-lying spectrum of a sparse matrix."""
+
+    def __init__(
+        self,
+        generator: RowGenerator,
+        n_steps: int,
+        checkpoint_interval: Optional[int] = None,
+        eig_check_interval: int = 0,
+        tol: float = 0.0,
+        time_model=None,
+        nominal_state_bytes: Optional[int] = None,
+        nominal_setup_bytes: Optional[int] = None,
+        n_eigenvalues: int = 5,
+    ) -> None:
+        self.generator = generator
+        self.n_steps = n_steps
+        self.checkpoint_interval = checkpoint_interval
+        self.eig_check_interval = eig_check_interval
+        self.tol = tol
+        self.time_model = time_model
+        self.nominal_state_bytes = nominal_state_bytes
+        self.nominal_setup_bytes = nominal_setup_bytes
+        self.n_eigenvalues = n_eigenvalues
+
+    # ------------------------------------------------------------------
+    def _build_solver(self, ftx: FTContext, dmat: DistMatrix,
+                      state: Optional[LanczosState]):
+        engine = yield from SpMVMEngine.create(
+            ftx.team, dmat, guard=ftx.guard,
+            comm_timeout=ftx.cfg.comm_timeout,
+            time_model=self.time_model,
+        )
+        return DistributedLanczos(
+            ftx.team, engine, state=state, guard=ftx.guard,
+            comm_timeout=ftx.cfg.comm_timeout, time_model=self.time_model,
+        )
+
+    def setup(self, ftx: FTContext):
+        ftx.mark("setup-start")
+        dmat = yield from distribute_matrix(
+            ftx.team, self.generator, guard=ftx.guard,
+            comm_timeout=ftx.cfg.comm_timeout,
+        )
+        yield from ftx.write_setup_checkpoint(
+            dmat.to_payload(), self.nominal_setup_bytes
+        )
+        solver = yield from self._build_solver(ftx, dmat, None)
+        ftx.mark("setup-done")
+        return solver
+
+    def restore(self, ftx: FTContext, state_payload: Optional[Dict[str, Any]]):
+        setup_payload = yield from ftx.read_setup_checkpoint()
+        if setup_payload is None:
+            # no consistent setup checkpoint: redo the pre-processing
+            ftx.mark("setup-redo")
+            dmat = yield from distribute_matrix(
+                ftx.team, self.generator, guard=ftx.guard,
+                comm_timeout=ftx.cfg.comm_timeout,
+            )
+            yield from ftx.write_setup_checkpoint(
+                dmat.to_payload(), self.nominal_setup_bytes
+            )
+        else:
+            dmat = DistMatrix.from_payload(setup_payload)
+        state = None
+        if state_payload is not None:
+            state = LanczosState.from_payload(state_payload)
+        solver = yield from self._build_solver(ftx, dmat, state)
+        ftx.mark("restored", step=state.step if state else 0)
+        return solver
+
+    def run(self, ftx: FTContext, solver: DistributedLanczos):
+        interval = self.checkpoint_interval or ftx.cfg.checkpoint_interval
+        last_min: Optional[float] = None
+        while solver.state.step < self.n_steps:
+            yield from solver.step()
+            step = solver.state.step
+            if step % interval == 0:
+                yield from ftx.checkpoint(
+                    step // interval, solver.state.to_payload(),
+                    self.nominal_state_bytes,
+                )
+            if solver.state.broke_down:
+                break
+            if self.eig_check_interval and step % self.eig_check_interval == 0:
+                current = solver.state.min_eigenvalue()
+                if last_min is not None and abs(current - last_min) <= self.tol:
+                    break
+                last_min = current
+        estimates = solver.state.eigenvalue_estimates()
+        return {
+            "steps": solver.state.step,
+            "min_eigenvalue": float(estimates[0]) if estimates.size else None,
+            "eigenvalues": [float(v) for v in estimates[: self.n_eigenvalues]],
+            "alpha": list(solver.state.alpha),
+            "beta": list(solver.state.beta),
+        }

@@ -1,0 +1,46 @@
+"""Distributed power iteration (largest-magnitude eigenvalue).
+
+A second solver on the same substrate — used by the extension examples and
+as an independent exerciser of the halo-exchange + reduction path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gaspi.constants import GASPI_BLOCK
+from repro.spmvm.dist_vector import DistVector
+from repro.spmvm.ft_hooks import CommGuard
+from repro.spmvm.spmv import SpMVMEngine
+from repro.spmvm.team import Team
+from repro.solvers.lanczos import starting_vector
+
+
+def distributed_power_iteration(team: Team, engine: SpMVMEngine,
+                                n_steps: int = 100, tol: float = 1e-10,
+                                guard: Optional[CommGuard] = None,
+                                comm_timeout: float = GASPI_BLOCK):
+    """Generator: returns ``(eigenvalue_estimate, steps_taken)``."""
+    guard = guard or CommGuard()
+    offset, _ = engine.matrix.partition().range_of(team.logical_rank)
+    x = DistVector(team, starting_vector(engine.n_local, offset),
+                   guard, comm_timeout)
+    norm = yield from x.norm()
+    x.scale(1.0 / norm)
+    estimate = 0.0
+    steps = 0
+    for step in range(n_steps):
+        y_local = yield from engine.multiply(x.local, tag=step)
+        y = DistVector(team, y_local, guard, comm_timeout)
+        rayleigh = yield from y.dot(x)  # x normalised: lambda ~ x.Ax
+        norm = yield from y.norm()
+        steps = step + 1
+        if norm == 0.0:
+            estimate = 0.0
+            break
+        x = y.scale(1.0 / norm)
+        if abs(rayleigh - estimate) <= tol * max(1.0, abs(rayleigh)):
+            estimate = rayleigh
+            break
+        estimate = rayleigh
+    return estimate, steps

@@ -1,0 +1,80 @@
+"""Distributed vectors: local NumPy blocks + team-wide reductions.
+
+Local operations (axpy, scale, copy) are plain vectorised NumPy; global
+reductions (dot, norm) go through the team's group allreduce with the
+library's standard retry-until-success-or-failure-acknowledged loop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.gaspi.constants import GASPI_BLOCK, AllreduceOp, ReturnCode
+from repro.spmvm.ft_hooks import CommGuard
+from repro.spmvm.team import Team
+
+
+class DistVector:
+    """One rank's block of a globally distributed vector."""
+
+    __slots__ = ("team", "local", "guard", "comm_timeout")
+
+    def __init__(self, team: Team, local: np.ndarray,
+                 guard: Optional[CommGuard] = None,
+                 comm_timeout: float = GASPI_BLOCK) -> None:
+        self.team = team
+        self.local = np.asarray(local, dtype=np.float64)
+        self.guard = guard or CommGuard()
+        self.comm_timeout = comm_timeout
+
+    # ------------------------------------------------------------------
+    # local (embarrassingly parallel) operations
+    # ------------------------------------------------------------------
+    def fill(self, value: float) -> "DistVector":
+        self.local.fill(value)
+        return self
+
+    def copy_from(self, other: "DistVector") -> "DistVector":
+        self.local[:] = other.local
+        return self
+
+    def scale(self, alpha: float) -> "DistVector":
+        self.local *= alpha
+        return self
+
+    def axpy(self, alpha: float, x: "DistVector") -> "DistVector":
+        """``self += alpha * x``."""
+        self.local += alpha * x.local
+        return self
+
+    # ------------------------------------------------------------------
+    # global reductions (generators)
+    # ------------------------------------------------------------------
+    def _allreduce_sum(self, partial: float):
+        ctx = self.team.ctx
+        while True:
+            self.guard.assert_healthy()
+            ret, total = yield from ctx.allreduce(
+                np.array([partial]), AllreduceOp.SUM, self.team.group,
+                self.comm_timeout,
+            )
+            if ret is ReturnCode.SUCCESS:
+                return float(total[0])
+
+    def dot(self, other: "DistVector"):
+        """Generator: global inner product."""
+        partial = float(self.local @ other.local)
+        total = yield from self._allreduce_sum(partial)
+        return total
+
+    def norm(self):
+        """Generator: global 2-norm."""
+        partial = float(self.local @ self.local)
+        total = yield from self._allreduce_sum(partial)
+        return math.sqrt(total)
+
+    def __len__(self) -> int:
+        return len(self.local)

@@ -1,0 +1,23 @@
+"""On-the-fly matrix generators.
+
+The paper avoids reading its 1.2e8-row matrix from the file system: "a
+matrix generation library tool is used to construct the matrix on the fly
+... each process allocates its own chunk."  Generators here do the same:
+``generate_rows(r0, r1)`` materialises only the requested row block (with
+global column indices), deterministically and independently of the block
+decomposition.
+"""
+
+from repro.spmvm.matgen.base import RowGenerator, hash_uniform
+from repro.spmvm.matgen.graphene import GrapheneSheet
+from repro.spmvm.matgen.laplacian import Laplacian1D, Laplacian2D
+from repro.spmvm.matgen.random import RandomSparse
+
+__all__ = [
+    "RowGenerator",
+    "hash_uniform",
+    "GrapheneSheet",
+    "Laplacian1D",
+    "Laplacian2D",
+    "RandomSparse",
+]

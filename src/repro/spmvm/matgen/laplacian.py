@@ -1,0 +1,75 @@
+"""Discrete Laplacian generators (1D tridiagonal, 2D five-point stencil)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spmvm.csr import CSRMatrix
+from repro.spmvm.matgen.base import RowGenerator
+
+
+class Laplacian1D(RowGenerator):
+    """Tridiagonal ``[-1, 2, -1]`` operator with Dirichlet boundaries."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("need at least one grid point")
+        self.n = n
+
+    @property
+    def n_rows(self) -> int:
+        return self.n
+
+    def generate_rows(self, r0: int, r1: int) -> CSRMatrix:
+        self._check_range(r0, r1)
+        rows, cols, vals = [], [], []
+        for local, r in enumerate(range(r0, r1)):
+            for c, v in ((r - 1, -1.0), (r, 2.0), (r + 1, -1.0)):
+                if 0 <= c < self.n:
+                    rows.append(local)
+                    cols.append(c)
+                    vals.append(v)
+        return CSRMatrix.from_coo(rows, cols, vals, (r1 - r0, self.n),
+                                  sum_duplicates=False)
+
+
+class Laplacian2D(RowGenerator):
+    """Five-point stencil on an ``nx × ny`` grid, Dirichlet boundaries.
+
+    Row index is ``x * ny + y``; eigenvalues are the classic
+    ``4 - 2cos(kx·h) - 2cos(ky·h)`` family, handy for solver validation.
+    """
+
+    def __init__(self, nx: int, ny: int) -> None:
+        if nx < 1 or ny < 1:
+            raise ValueError("grid must be at least 1x1")
+        self.nx_grid = nx
+        self.ny_grid = ny
+
+    @property
+    def n_rows(self) -> int:
+        return self.nx_grid * self.ny_grid
+
+    def generate_rows(self, r0: int, r1: int) -> CSRMatrix:
+        self._check_range(r0, r1)
+        ny = self.ny_grid
+        rows, cols, vals = [], [], []
+        for local, r in enumerate(range(r0, r1)):
+            x, y = divmod(r, ny)
+            rows.append(local)
+            cols.append(r)
+            vals.append(4.0)
+            for cx, cy in ((x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)):
+                if 0 <= cx < self.nx_grid and 0 <= cy < ny:
+                    rows.append(local)
+                    cols.append(cx * ny + cy)
+                    vals.append(-1.0)
+        return CSRMatrix.from_coo(rows, cols, vals, (r1 - r0, self.n_rows),
+                                  sum_duplicates=False)
+
+    def exact_eigenvalues(self) -> np.ndarray:
+        """All eigenvalues in ascending order (for validation)."""
+        kx = np.arange(1, self.nx_grid + 1) * np.pi / (self.nx_grid + 1)
+        ky = np.arange(1, self.ny_grid + 1) * np.pi / (self.ny_grid + 1)
+        lam = (4.0 - 2.0 * np.cos(kx)[:, None] - 2.0 * np.cos(ky)[None, :]).ravel()
+        return np.sort(lam)

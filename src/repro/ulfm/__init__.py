@@ -1,0 +1,24 @@
+"""A minimal ULFM-style fault-tolerance layer (the paper's future work).
+
+The paper (Sect. VIII) plans "to compare this fault tolerance approach
+with the Open MPI's ULFM functionality"; this package provides the
+counterpart needed for that comparison: an MPI-like communicator with
+User-Level Failure Mitigation semantics —
+
+* failures are detected *by communication*: an operation touching a dead
+  peer eventually returns ``PROC_FAILED`` (there is no explicit detector
+  process, unlike the paper's design);
+* ``revoke`` propagates failure knowledge: it poisons the communicator on
+  every member, so collectives cannot deadlock on inconsistent views;
+* ``shrink`` builds a consensus alive-set and returns a new, smaller
+  communicator (shrinking recovery — the opposite of the paper's
+  non-shrinking spare-process scheme);
+* ``agree`` is the fault-tolerant agreement collective.
+
+Costs follow the published ULFM evaluations the paper cites (Laguna et
+al.: revoke+shrink time grows linearly with node count).
+"""
+
+from repro.ulfm.comm import UlfmComm, UlfmCosts, UlfmResult
+
+__all__ = ["UlfmComm", "UlfmCosts", "UlfmResult"]

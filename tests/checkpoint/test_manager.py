@@ -1,0 +1,214 @@
+"""Integration tests for CheckpointLib on the simulated cluster."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FaultPlan
+from repro.checkpoint import (
+    CheckpointConfig,
+    CheckpointLib,
+    CheckpointNotFound,
+    ParallelFileSystem,
+)
+from repro.gaspi import run_gaspi
+from repro.sim import Sleep, WaitEvent
+
+
+def test_write_then_local_restore():
+    def main(ctx):
+        lib = CheckpointLib(ctx, logical_rank=ctx.rank, participants=[0, 1])
+        payload = {"v": np.arange(4.0) + ctx.rank, "it": ctx.rank * 10}
+        mirrored = yield from lib.write_checkpoint(0, payload)
+        yield WaitEvent(mirrored, 10.0)
+        version, out = yield from lib.read_checkpoint()
+        lib.shutdown()
+        return (version, list(out["v"]), int(out["it"]))
+
+    run = run_gaspi(main, n_ranks=2)
+    assert run.result(0) == (0, [0.0, 1.0, 2.0, 3.0], 0)
+    assert run.result(1) == (0, [1.0, 2.0, 3.0, 4.0], 10)
+
+
+def test_neighbor_copy_lands_on_other_node():
+    def main(ctx):
+        lib = CheckpointLib(ctx, logical_rank=ctx.rank, participants=[0, 1, 2])
+        mirrored = yield from lib.write_checkpoint(0, {"x": np.ones(8)})
+        ok, copied = yield WaitEvent(mirrored, 10.0)
+        lib.shutdown()
+        return (ok, copied, lib.neighbor_rank, lib.stats["neighbor_copies"])
+
+    run = run_gaspi(main, n_ranks=3)
+    for r in range(3):
+        ok, copied, neighbor, copies = run.result(r)
+        assert ok and copied
+        assert neighbor == (r + 1) % 3
+        assert copies == 1
+    # each node now holds its own blob and its predecessor's
+    m = run.machine
+    for node_id in range(3):
+        from repro.checkpoint import NodeLocalStore
+        store = NodeLocalStore(m.node(node_id))
+        held = {k[2] for k in m.node(node_id).local_store}
+        assert held == {node_id, (node_id - 1) % 3}
+
+
+def test_restore_from_neighbor_after_node_loss():
+    """Rescue on a fresh node restores a failed rank's data from its neighbor."""
+
+    def main(ctx):
+        if ctx.rank == 1:
+            lib = CheckpointLib(ctx, logical_rank=1, participants=[0, 1, 2])
+            mirrored = yield from lib.write_checkpoint(0, {"x": np.full(4, 7.0)})
+            yield WaitEvent(mirrored, 10.0)
+            lib.shutdown()
+            yield Sleep(100.0)  # stays up until killed at t=20
+            return None
+        if ctx.rank == 3:  # the rescue: adopts logical rank 1 after failure
+            yield Sleep(30.0)
+            lib = CheckpointLib(ctx, logical_rank=1, participants=[0, 2, 3])
+            # candidates: failed rank's node (1, dead) and its old neighbor (2)
+            version, out = yield from lib.read_checkpoint(extra_nodes=[1, 2])
+            lib.shutdown()
+            return (version, float(out["x"][0]), lib.stats["remote_reads"])
+        yield Sleep(40.0)
+        return None
+
+    plan = FaultPlan().kill_node(20.0, 1)
+    run = run_gaspi(main, n_ranks=4, fault_plan=plan)
+    assert run.result(3) == (0, 7.0, 1)
+
+
+def test_restore_prefers_local_after_process_only_failure():
+    """If only the process died, its node store still has the local copy."""
+
+    def main(ctx):
+        if ctx.rank == 0:
+            lib = CheckpointLib(ctx, logical_rank=0, participants=[0, 1])
+            yield from lib.write_checkpoint(0, {"x": np.arange(3.0)})
+            lib.shutdown()
+            yield Sleep(100.0)
+            return None
+        # rank 1 plays "rescue restarted on the failed process's node 0"?
+        # it cannot be; instead verify remote read from node 0 succeeds
+        yield Sleep(10.0)
+        lib = CheckpointLib(ctx, logical_rank=0, participants=[1])
+        version, out = yield from lib.read_checkpoint(extra_nodes=[0])
+        lib.shutdown()
+        return (version, list(out["x"]))
+
+    plan = FaultPlan().kill_process(5.0, 0)
+    run = run_gaspi(main, n_ranks=2, fault_plan=plan)
+    assert run.result(1) == (0, [0.0, 1.0, 2.0])
+
+
+def test_version_pruning_keeps_last_k():
+    def main(ctx):
+        cfg = CheckpointConfig(keep_versions=2)
+        lib = CheckpointLib(ctx, logical_rank=0, participants=[0, 1], config=cfg)
+        if ctx.rank == 0:
+            last = None
+            for v in range(5):
+                last = yield from lib.write_checkpoint(v, {"x": np.array([v])})
+            yield WaitEvent(last, 10.0)
+            from repro.checkpoint import NodeLocalStore
+            store = NodeLocalStore(ctx.world.machine.node(0))
+            versions = store.versions("ckpt", 0)
+            lib.shutdown()
+            return versions
+        lib.shutdown()
+        if False:
+            yield
+
+    run = run_gaspi(main, n_ranks=2)
+    assert run.result(0) == [3, 4]
+
+
+def test_restorable_latest_reports_minus_one_when_empty():
+    def main(ctx):
+        lib = CheckpointLib(ctx, logical_rank=0, participants=[0])
+        latest = lib.restorable_latest()
+        lib.shutdown()
+        if False:
+            yield
+        return latest
+
+    run = run_gaspi(main, n_ranks=1)
+    assert run.result(0) == -1
+
+
+def test_read_missing_version_raises():
+    def main(ctx):
+        lib = CheckpointLib(ctx, logical_rank=0, participants=[0])
+        try:
+            yield from lib.read_checkpoint(version=9)
+        except CheckpointNotFound:
+            lib.shutdown()
+            return "not-found"
+
+    run = run_gaspi(main, n_ranks=1)
+    assert run.result(0) == "not-found"
+
+
+def test_pfs_copies_every_kth_version():
+    def main(ctx):
+        pfs = ParallelFileSystem(ctx.world.sim)
+        cfg = CheckpointConfig(pfs_every=2, keep_versions=10)
+        lib = CheckpointLib(ctx, logical_rank=0, participants=[0, 1],
+                            config=cfg, pfs=pfs)
+        if ctx.rank == 0:
+            last = None
+            for v in range(4):
+                last = yield from lib.write_checkpoint(v, {"x": np.array([v])})
+            yield WaitEvent(last, 10.0)
+            lib.shutdown()
+            return (lib.stats["pfs_copies"], pfs.has(("ckpt", 0, 0)),
+                    pfs.has(("ckpt", 0, 1)), pfs.has(("ckpt", 0, 2)))
+        lib.shutdown()
+        if False:
+            yield
+
+    run = run_gaspi(main, n_ranks=2)
+    assert run.result(0) == (2, True, False, True)
+
+
+def test_refresh_changes_neighbor_after_failure():
+    def main(ctx):
+        lib = CheckpointLib(ctx, logical_rank=ctx.rank, participants=[0, 1, 2, 3])
+        before = lib.neighbor_rank
+        lib.refresh([0, 2, 3])  # rank 1 failed and left the ring
+        after = lib.neighbor_rank
+        lib.shutdown()
+        if False:
+            yield
+        return (before, after)
+
+    run = run_gaspi(main, n_ranks=4)
+    assert run.result(0) == (1, 2)
+
+
+def test_checkpoint_write_cost_scales_with_nominal_bytes():
+    def main(ctx):
+        cfg = CheckpointConfig(local_bandwidth=1e9)
+        lib = CheckpointLib(ctx, logical_rank=0, participants=[0])
+        lib.config = cfg
+        t0 = ctx.now
+        yield from lib.write_checkpoint(0, {"x": np.zeros(2)}, nominal_bytes=10**9)
+        lib.shutdown()
+        return ctx.now - t0
+
+    run = run_gaspi(main, n_ranks=1)
+    assert run.result(0) == pytest.approx(1.0, rel=0.01)
+
+
+def test_helper_dies_with_rank():
+    """The helper thread is bound to the rank and must not outlive it."""
+
+    def main(ctx):
+        lib = CheckpointLib(ctx, logical_rank=0, participants=[0, 1])
+        yield Sleep(100.0)
+
+    plan = FaultPlan().kill_process(1.0, 0)
+    run = run_gaspi(main, n_ranks=2, fault_plan=plan, until=50.0)
+    helpers = [p for p in run.sim.processes if p.name.startswith("ckpt-helper-0")]
+    assert len(helpers) == 1
+    assert not helpers[0].alive

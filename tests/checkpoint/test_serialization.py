@@ -1,0 +1,69 @@
+"""Tests for the checkpoint container format, including corruption handling."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import CheckpointCorrupt, pack_checkpoint, unpack_checkpoint
+
+
+def test_roundtrip_arrays_and_scalars():
+    payload = {
+        "vec": np.arange(10, dtype=np.float64),
+        "matrix": np.arange(6, dtype=np.float32).reshape(2, 3),
+        "iteration": 42,
+        "beta": 3.25,
+    }
+    out = unpack_checkpoint(pack_checkpoint(payload))
+    assert set(out) == set(payload)
+    assert np.array_equal(out["vec"], payload["vec"])
+    assert out["matrix"].shape == (2, 3)
+    assert out["matrix"].dtype == np.float32
+    assert out["iteration"] == 42
+    assert out["beta"] == 3.25
+
+
+def test_roundtrip_empty_payload():
+    assert unpack_checkpoint(pack_checkpoint({})) == {}
+
+
+def test_roundtrip_empty_array():
+    out = unpack_checkpoint(pack_checkpoint({"x": np.zeros(0)}))
+    assert out["x"].shape == (0,)
+
+
+def test_roundtrip_unicode_names_and_int_dtypes():
+    payload = {"αβ": np.array([1, 2, 3], dtype=np.int32)}
+    out = unpack_checkpoint(pack_checkpoint(payload))
+    assert np.array_equal(out["αβ"], [1, 2, 3])
+    assert out["αβ"].dtype == np.int32
+
+
+def test_unpacked_arrays_are_writable_copies():
+    blob = pack_checkpoint({"x": np.arange(4.0)})
+    out = unpack_checkpoint(blob)
+    out["x"][0] = 99.0  # must not raise (frombuffer alone would be read-only)
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(CheckpointCorrupt, match="magic"):
+        unpack_checkpoint(b"XXXX" + b"\0" * 20)
+
+
+def test_truncated_blob_rejected():
+    blob = pack_checkpoint({"x": np.arange(100.0)})
+    with pytest.raises(CheckpointCorrupt):
+        unpack_checkpoint(blob[: len(blob) // 2])
+
+
+def test_single_flipped_bit_detected():
+    blob = bytearray(pack_checkpoint({"x": np.arange(100.0)}))
+    blob[len(blob) // 2] ^= 0x01
+    with pytest.raises(CheckpointCorrupt, match="CRC"):
+        unpack_checkpoint(bytes(blob))
+
+
+def test_wrong_version_rejected():
+    blob = bytearray(pack_checkpoint({"x": np.arange(4.0)}))
+    blob[4] = 99  # version field
+    with pytest.raises(CheckpointCorrupt):
+        unpack_checkpoint(bytes(blob))

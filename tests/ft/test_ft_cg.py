@@ -1,0 +1,72 @@
+"""Tests for the fault-tolerant CG application."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FaultPlan, MachineSpec, TransportParams
+from repro.ft import FTConfig, run_ft_application
+from repro.solvers.ft_cg import FTConjugateGradient
+from repro.spmvm.matgen import Laplacian2D
+
+GEN = Laplacian2D(6, 6)
+
+
+class StepTime:
+    def spmv_time(self, nnz, rows):
+        return 0.02
+
+    def vector_ops_time(self, n):
+        return 0.02
+
+
+@pytest.fixture(scope="module")
+def system():
+    full = GEN.full()
+    rng = np.random.default_rng(3)
+    x_true = rng.standard_normal(full.n_rows)
+    return full, x_true, full.spmv(x_true)
+
+
+def run_case(system, plan=None, n_workers=4):
+    full, x_true, b = system
+    cfg = FTConfig(n_workers=n_workers, n_spares=2, fd_scan_period=1.0,
+                   comm_timeout=0.5, idle_poll=0.05, checkpoint_interval=15)
+    program = FTConjugateGradient(GEN, b, n_steps=400, tol=1e-12,
+                                  checkpoint_interval=15,
+                                  time_model=StepTime())
+    result = run_ft_application(
+        cfg, program,
+        machine_spec=MachineSpec(
+            n_nodes=cfg.n_ranks,
+            transport_params=TransportParams(error_timeout=1.0),
+        ),
+        fault_plan=plan,
+        until=900.0,
+    )
+    assert result.status == "done"
+    workers = result.worker_results()
+    x = np.concatenate([
+        workers[l]["result"]["x"] for l in sorted(workers)
+    ])
+    return result, x
+
+
+def test_failure_free_solves_system(system):
+    _, x_true, _ = system
+    result, x = run_case(system)
+    assert np.allclose(x, x_true, atol=1e-8)
+
+
+def test_recovers_from_mid_solve_kill(system):
+    _, x_true, _ = system
+    # CG converges in ~19 steps (~0.8 s at this pacing): strike mid-solve
+    plan = FaultPlan().kill_process(0.35, 1)
+    result, x = run_case(system, plan)
+    assert np.allclose(x, x_true, atol=1e-8)
+    assert len(result.fd_stats.detections) == 1
+    assert not result.run.machine.alive(1)
+
+
+def test_rhs_dimension_validated():
+    with pytest.raises(ValueError):
+        FTConjugateGradient(GEN, np.zeros(5))

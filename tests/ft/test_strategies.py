@@ -1,0 +1,101 @@
+"""Tests for the alternative failure-detection strategies (Sect. IV-A b)."""
+
+import pytest
+
+from repro.cluster import FaultPlan, MachineSpec
+from repro.gaspi import run_gaspi
+from repro.ft.strategies import (
+    AllToAllStrategy,
+    LocalFlagStrategy,
+    NeighborRingStrategy,
+)
+from repro.sim import Sleep
+
+
+def run_strategy(cls, n_ranks=4, n_iters=30, iteration_time=0.5,
+                 period=2.0, plan=None, until=120.0):
+    results = {}
+
+    def main(ctx):
+        strategy = cls(ctx, list(range(n_ranks)), period)
+        detections = []
+        for _ in range(n_iters):
+            yield Sleep(iteration_time)
+            fresh = yield from strategy.maybe_check()
+            if fresh:
+                detections.append((ctx.now, tuple(sorted(fresh))))
+        return (strategy.stats, detections)
+
+    run = run_gaspi(main, machine_spec=MachineSpec(n_nodes=n_ranks),
+                    fault_plan=plan, until=until)
+    return {r: run.result(r) for r in range(n_ranks) if run.result(r)}
+
+
+class TestLocalFlag:
+    def test_no_pings_no_time(self):
+        out = run_strategy(LocalFlagStrategy)
+        for stats, detections in out.values():
+            assert stats.pings_sent == 0
+            assert stats.time_spent == 0.0
+            assert detections == []
+
+    def test_checks_happen_at_period(self):
+        out = run_strategy(LocalFlagStrategy, n_iters=20, iteration_time=1.0,
+                           period=5.0)
+        stats, _ = out[0]
+        assert 3 <= stats.checks <= 5
+
+
+class TestAllToAll:
+    def test_ping_count_quadratic(self):
+        out = run_strategy(AllToAllStrategy, n_ranks=6, n_iters=10,
+                           iteration_time=1.0, period=3.0)
+        total = sum(s.pings_sent for s, _ in out.values())
+        checks = sum(s.checks for s, _ in out.values())
+        assert total == checks * 5  # every check pings all 5 peers
+
+    def test_detects_failure_on_every_survivor(self):
+        plan = FaultPlan().kill_process(3.0, 2)
+        out = run_strategy(AllToAllStrategy, n_ranks=4, n_iters=40,
+                           iteration_time=0.5, period=2.0, plan=plan)
+        for rank, (stats, detections) in out.items():
+            assert detections, f"rank {rank} missed the failure"
+            assert detections[0][1] == (2,)
+
+    def test_failure_free_overhead_positive(self):
+        out = run_strategy(AllToAllStrategy, n_ranks=8)
+        stats, _ = out[0]
+        assert stats.time_spent > 0
+
+
+class TestNeighborRing:
+    def test_only_successor_pinged_when_healthy(self):
+        out = run_strategy(NeighborRingStrategy, n_ranks=6, n_iters=10,
+                           iteration_time=1.0, period=3.0)
+        for stats, _ in out.values():
+            assert stats.pings_sent == stats.checks  # one ping per check
+
+    def test_escalates_to_global_scan_on_hit(self):
+        # rank 1's successor (2) dies; rank 1 escalates and finds it
+        plan = FaultPlan().kill_process(3.0, 2)
+        out = run_strategy(NeighborRingStrategy, n_ranks=5, n_iters=40,
+                           iteration_time=0.5, period=2.0, plan=plan)
+        stats1, detections1 = out[1]
+        assert detections1 and detections1[0][1] == (2,)
+        # the escalation pinged more than just the successor that round
+        assert stats1.pings_sent > stats1.checks
+
+    def test_non_predecessor_does_not_detect(self):
+        # only the ring predecessor notices; others stay blind (the
+        # consensus problem the paper highlights)
+        plan = FaultPlan().kill_process(3.0, 2)
+        out = run_strategy(NeighborRingStrategy, n_ranks=5, n_iters=40,
+                           iteration_time=0.5, period=2.0, plan=plan)
+        _, detections4 = out[4]
+        assert detections4 == []
+
+    def test_two_rank_ring(self):
+        out = run_strategy(NeighborRingStrategy, n_ranks=2, n_iters=5,
+                           iteration_time=1.0, period=2.0)
+        stats, _ = out[0]
+        assert stats.pings_sent >= 1

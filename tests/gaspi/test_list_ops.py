@@ -1,0 +1,125 @@
+"""Tests for gaspi_write_list / gaspi_read_list and segment_delete."""
+
+import numpy as np
+import pytest
+
+from repro.gaspi import GaspiUsageError, ReturnCode, run_gaspi
+
+
+def test_write_list_all_entries_land():
+    def main(ctx):
+        ctx.segment_create(0, 64)
+        ctx.segment_create(1, 64)
+        if ctx.rank == 0:
+            ctx.segment_view(0, np.float64)[:2] = [1.5, 2.5]
+            ctx.segment_view(1, np.float64)[:1] = [9.0]
+            ret = ctx.write_list(
+                [
+                    (0, 0, 8, 0, 32),   # seg0[0] -> remote seg0 @32
+                    (0, 8, 8, 1, 0),    # seg0[1] -> remote seg1 @0
+                    (1, 0, 8, 0, 40),   # seg1[0] -> remote seg0 @40
+                ],
+                dst_rank=1,
+            )
+            assert ret is ReturnCode.SUCCESS
+            ret = yield from ctx.wait(0)
+            assert ret is ReturnCode.SUCCESS
+        yield from ctx.barrier()
+        return (
+            float(ctx.segment_view(0, np.float64, 32, 1)[0]),
+            float(ctx.segment_view(1, np.float64, 0, 1)[0]),
+            float(ctx.segment_view(0, np.float64, 40, 1)[0]),
+        )
+
+    run = run_gaspi(main, n_ranks=2)
+    assert run.result(1) == (1.5, 2.5, 9.0)
+
+
+def test_write_list_is_one_queue_entry():
+    def main(ctx):
+        ctx.segment_create(0, 64)
+        if ctx.rank == 0:
+            ctx.write_list([(0, 0, 8, 0, 8), (0, 8, 8, 0, 16)], 1)
+            size = ctx.queue_size(0)
+            yield from ctx.wait(0)
+            return size
+        yield from ctx.barrier()
+
+    run = run_gaspi(main, n_ranks=2)
+    assert run.result(0) == 1
+
+
+def test_read_list_gathers_multiple_windows():
+    def main(ctx):
+        ctx.segment_create(0, 64)
+        view = ctx.segment_view(0, np.float64)
+        view[:4] = np.arange(4.0) + 10 * ctx.rank
+        yield from ctx.barrier()
+        if ctx.rank == 0:
+            ret = ctx.read_list(
+                [
+                    (0, 32, 8, 0, 0),   # remote[0] -> local @32
+                    (0, 40, 16, 0, 16), # remote[2:4] -> local @40
+                ],
+                src_rank=1,
+            )
+            assert ret is ReturnCode.SUCCESS
+            ret = yield from ctx.wait(0)
+            assert ret is ReturnCode.SUCCESS
+            return list(ctx.segment_view(0, np.float64, 32, 3))
+
+    run = run_gaspi(main, n_ranks=2)
+    assert run.result(0) == [10.0, 12.0, 13.0]
+
+
+def test_empty_list_rejected():
+    def main(ctx):
+        ctx.segment_create(0, 16)
+        if False:
+            yield
+        ctx.write_list([], 0)
+
+    with pytest.raises(GaspiUsageError):
+        run_gaspi(main, n_ranks=1)
+
+
+def test_list_ops_bounds_checked_locally():
+    def main(ctx):
+        ctx.segment_create(0, 16)
+        if False:
+            yield
+        ctx.write_list([(0, 8, 16, 0, 0)], 0)  # past end of local segment
+
+    with pytest.raises(GaspiUsageError):
+        run_gaspi(main, n_ranks=1)
+
+
+def test_segment_delete():
+    def main(ctx):
+        seg = ctx.segment_create(5, 32)
+        assert 5 in ctx.segments
+        ctx.segment_delete(5)
+        if False:
+            yield
+        return 5 in ctx.segments
+
+    run = run_gaspi(main, n_ranks=1)
+    assert run.result(0) is False
+
+
+def test_write_list_to_dead_rank_times_out():
+    from repro.cluster import FaultPlan
+    from repro.sim import Sleep
+
+    def main(ctx):
+        ctx.segment_create(0, 32)
+        if ctx.rank == 0:
+            yield Sleep(1.0)
+            ctx.write_list([(0, 0, 8, 0, 0)], 1)
+            ret = yield from ctx.wait(0, timeout=0.5)
+            return ret
+        yield Sleep(60.0)
+
+    plan = FaultPlan().kill_process(0.5, 1)
+    run = run_gaspi(main, n_ranks=2, fault_plan=plan)
+    assert run.result(0) is ReturnCode.TIMEOUT

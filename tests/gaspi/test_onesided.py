@@ -1,0 +1,184 @@
+"""Integration tests: one-sided communication through the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.gaspi import GASPI_BLOCK, GaspiUsageError, ReturnCode, run_gaspi
+
+
+def test_write_lands_in_remote_segment():
+    def main(ctx):
+        ctx.segment_create(0, 64)
+        if ctx.rank == 0:
+            ctx.segment_view(0, np.float64)[:4] = [1.0, 2.0, 3.0, 4.0]
+            ret = ctx.write(0, 0, 32, dst_rank=1, remote_segment=0, remote_offset=16)
+            assert ret is ReturnCode.SUCCESS
+            ret = yield from ctx.wait(0, GASPI_BLOCK)
+            assert ret is ReturnCode.SUCCESS
+        yield from ctx.barrier()
+        return list(ctx.segment_view(0, np.float64, offset=16, count=4))
+
+    run = run_gaspi(main, n_ranks=2)
+    assert run.result(1) == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_write_snapshot_taken_at_post_time():
+    """Mutating the source buffer after posting must not affect the transfer."""
+
+    def main(ctx):
+        ctx.segment_create(0, 8)
+        if ctx.rank == 0:
+            view = ctx.segment_view(0, np.int64)
+            view[0] = 11
+            ctx.write(0, 0, 8, 1, 0, 0)
+            view[0] = 99  # after the post, before delivery
+            yield from ctx.wait(0)
+        yield from ctx.barrier()
+        return int(ctx.segment_view(0, np.int64)[0])
+
+    run = run_gaspi(main, n_ranks=2)
+    assert run.result(1) == 11
+
+
+def test_read_fetches_remote_data():
+    def main(ctx):
+        ctx.segment_create(0, 64)
+        ctx.segment_view(0, np.int64)[0] = 100 + ctx.rank
+        yield from ctx.barrier()
+        if ctx.rank == 0:
+            ret = ctx.read(0, 8, 8, src_rank=3, remote_segment=0, remote_offset=0)
+            assert ret is ReturnCode.SUCCESS
+            ret = yield from ctx.wait(0)
+            assert ret is ReturnCode.SUCCESS
+            return int(ctx.segment_view(0, np.int64)[1])
+
+    run = run_gaspi(main, n_ranks=4)
+    assert run.result(0) == 103
+
+
+def test_write_notify_data_visible_with_notification():
+    def main(ctx):
+        ctx.segment_create(0, 64)
+        if ctx.rank == 0:
+            ctx.segment_view(0, np.float64)[0] = 2.5
+            ctx.write_notify(0, 0, 8, 1, 0, 0, notification_id=7, value=123)
+            yield from ctx.wait(0)
+            return None
+        ret, nid = yield from ctx.notify_waitsome(0, 0, 16, GASPI_BLOCK)
+        assert ret is ReturnCode.SUCCESS and nid == 7
+        old = ctx.notify_reset(0, nid)
+        return (old, float(ctx.segment_view(0, np.float64)[0]))
+
+    run = run_gaspi(main, n_ranks=2)
+    assert run.result(1) == (123, 2.5)
+
+
+def test_notify_alone():
+    def main(ctx):
+        ctx.segment_create(0, 32)
+        if ctx.rank == 1:
+            ctx.notify(0, 0, notification_id=3, value=9)
+            yield from ctx.wait(0)
+            return None
+        ret, nid = yield from ctx.notify_waitsome(0, 3, 1)
+        return (ret, nid, ctx.notify_reset(0, nid))
+
+    run = run_gaspi(main, n_ranks=2)
+    assert run.result(0) == (ReturnCode.SUCCESS, 3, 9)
+
+
+def test_notify_waitsome_timeout():
+    def main(ctx):
+        ctx.segment_create(0, 32)
+        ret, nid = yield from ctx.notify_waitsome(0, 0, 8, timeout=0.5)
+        return (ret, nid)
+
+    run = run_gaspi(main, n_ranks=1)
+    assert run.result(0) == (ReturnCode.TIMEOUT, -1)
+
+
+def test_wait_timeout_on_op_to_dead_rank():
+    """Writes to a failed process only ever produce queue timeouts."""
+    from repro.cluster import FaultPlan
+
+    def main(ctx):
+        ctx.segment_create(0, 32)
+        if ctx.rank == 0:
+            from repro.sim import Sleep
+            yield Sleep(1.0)  # let the fault hit first
+            ctx.write(0, 0, 8, 1, 0, 0)
+            rets = []
+            for _ in range(3):
+                ret = yield from ctx.wait(0, timeout=0.5)
+                rets.append(ret)
+            return rets
+        yield from ctx.barrier(timeout=0.1)  # rank 1 idles until killed
+
+    plan = FaultPlan().kill_process(0.5, 1)
+    run = run_gaspi(main, n_ranks=2, fault_plan=plan)
+    assert run.result(0) == [ReturnCode.TIMEOUT] * 3
+
+
+def test_queue_purge_unsticks_queue():
+    from repro.cluster import FaultPlan
+    from repro.sim import Sleep
+
+    def main(ctx):
+        ctx.segment_create(0, 32)
+        if ctx.rank == 0:
+            yield Sleep(1.0)
+            ctx.write(0, 0, 8, 1, 0, 0)
+            ret = yield from ctx.wait(0, timeout=0.5)
+            assert ret is ReturnCode.TIMEOUT
+            dropped = ctx.queue_purge(0)
+            ret2 = yield from ctx.wait(0, timeout=0.5)
+            return (dropped, ret2)
+        yield Sleep(100.0)
+
+    plan = FaultPlan().kill_process(0.5, 1)
+    run = run_gaspi(main, n_ranks=2, fault_plan=plan)
+    assert run.result(0) == (1, ReturnCode.SUCCESS)
+
+
+def test_queue_full_returns_code():
+    from repro.gaspi import GaspiConfig
+
+    def main(ctx):
+        ctx.segment_create(0, 32)
+        if ctx.rank == 0:
+            rets = [ctx.write(0, 0, 8, 1, 0, 0) for _ in range(3)]
+            yield from ctx.wait(0)
+            return rets
+        yield from ctx.barrier()
+
+    cfg = GaspiConfig(queue_depth=2)
+    run = run_gaspi(main, n_ranks=2, config=cfg)
+    assert run.result(0) == [ReturnCode.SUCCESS, ReturnCode.SUCCESS, ReturnCode.QUEUE_FULL]
+
+
+def test_write_to_invalid_rank_raises():
+    def main(ctx):
+        ctx.segment_create(0, 32)
+        if False:
+            yield
+        ctx.write(0, 0, 8, 99, 0, 0)
+
+    with pytest.raises(GaspiUsageError):
+        run_gaspi(main, n_ranks=2)
+
+
+def test_separate_queues_track_independently():
+    def main(ctx):
+        ctx.segment_create(0, 32)
+        if ctx.rank == 0:
+            ctx.write(0, 0, 8, 1, 0, 0, queue_id=0)
+            ctx.write(0, 8, 8, 1, 0, 8, queue_id=1)
+            assert ctx.queue_size(0) == 1
+            assert ctx.queue_size(1) == 1
+            ret0 = yield from ctx.wait(0)
+            ret1 = yield from ctx.wait(1)
+            return (ret0, ret1, ctx.queue_size(0), ctx.queue_size(1))
+        yield from ctx.barrier()
+
+    run = run_gaspi(main, n_ranks=2)
+    assert run.result(0) == (ReturnCode.SUCCESS, ReturnCode.SUCCESS, 0, 0)

@@ -1,0 +1,85 @@
+"""Tests for dynamic queue management (gaspi_queue_create/delete)."""
+
+import pytest
+
+from repro.gaspi import GaspiUsageError, ReturnCode, run_gaspi
+
+
+def test_create_returns_fresh_usable_queue():
+    def main(ctx):
+        ctx.segment_create(0, 32)
+        base = ctx.n_queues
+        qid = ctx.queue_create()
+        assert qid == base
+        assert ctx.n_queues == base + 1
+        if ctx.rank == 0:
+            ctx.write(0, 0, 8, 1, 0, 0, queue_id=qid)
+            ret = yield from ctx.wait(qid)
+            return ret
+        yield from ctx.barrier()
+
+    run = run_gaspi(main, n_ranks=2)
+    assert run.result(0) is ReturnCode.SUCCESS
+
+
+def test_delete_last_created_queue():
+    def main(ctx):
+        if False:
+            yield
+        qid = ctx.queue_create()
+        ctx.queue_delete(qid)
+        return ctx.n_queues
+
+    run = run_gaspi(main, n_ranks=1)
+    assert run.result(0) == 16  # back to the initial count
+
+
+def test_cannot_delete_initial_queues():
+    def main(ctx):
+        if False:
+            yield
+        try:
+            ctx.queue_delete(0)
+        except GaspiUsageError:
+            return "rejected"
+
+    assert run_gaspi(main, n_ranks=1).result(0) == "rejected"
+
+
+def test_cannot_delete_non_last_queue():
+    def main(ctx):
+        if False:
+            yield
+        q1 = ctx.queue_create()
+        q2 = ctx.queue_create()
+        try:
+            ctx.queue_delete(q1)
+        except GaspiUsageError:
+            return "rejected"
+
+    assert run_gaspi(main, n_ranks=1).result(0) == "rejected"
+
+
+def test_cannot_delete_queue_with_outstanding_ops():
+    from repro.sim import Sleep
+    from repro.cluster import FaultPlan
+
+    def main(ctx):
+        ctx.segment_create(0, 32)
+        if ctx.rank == 0:
+            yield Sleep(1.0)
+            qid = ctx.queue_create()
+            ctx.write(0, 0, 8, 1, 0, 0, queue_id=qid)  # hangs: target dead
+            yield from ctx.wait(qid, timeout=0.2)
+            try:
+                ctx.queue_delete(qid)
+            except GaspiUsageError:
+                ctx.queue_purge(qid)
+                ctx.queue_delete(qid)  # fine after purge
+                return "purged-then-deleted"
+        else:
+            yield Sleep(60.0)
+
+    plan = FaultPlan().kill_process(0.5, 1)
+    run = run_gaspi(main, n_ranks=2, fault_plan=plan)
+    assert run.result(0) == "purged-then-deleted"

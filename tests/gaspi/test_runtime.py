@@ -1,0 +1,98 @@
+"""Tests for the GASPI runtime launcher and run-result accessors."""
+
+import pytest
+
+from repro.cluster import MachineSpec
+from repro.gaspi import GaspiConfig, run_gaspi
+from repro.sim import Simulator, Sleep
+
+
+def test_results_and_elapsed():
+    def main(ctx):
+        yield Sleep(float(ctx.rank))
+        return ctx.rank * 10
+
+    run = run_gaspi(main, n_ranks=3)
+    assert run.results == {0: 0, 1: 10, 2: 20}
+    assert run.result(2) == 20
+    assert run.elapsed == 2.0
+    assert run.machine.n_ranks == 3
+
+
+def test_procs_per_node_placement():
+    def main(ctx):
+        if False:
+            yield
+        return ctx.world.machine.node_of(ctx.rank)
+
+    run = run_gaspi(main, n_ranks=6, procs_per_node=2)
+    assert [run.result(r) for r in range(6)] == [0, 0, 1, 1, 2, 2]
+
+
+def test_ranks_not_multiple_of_procs_per_node_rejected():
+    def main(ctx):
+        if False:
+            yield
+
+    with pytest.raises(ValueError):
+        run_gaspi(main, n_ranks=5, procs_per_node=2)
+
+
+def test_machine_spec_overrides_rank_count():
+    def main(ctx):
+        if False:
+            yield
+        return ctx.num_ranks
+
+    run = run_gaspi(main, n_ranks=99, machine_spec=MachineSpec(n_nodes=4))
+    assert run.result(0) == 4
+
+
+def test_custom_config_applies():
+    def main(ctx):
+        if False:
+            yield
+        return ctx.n_queues
+
+    run = run_gaspi(main, n_ranks=1, config=GaspiConfig(n_queues=3))
+    assert run.result(0) == 3
+
+
+def test_external_simulator_reused():
+    sim = Simulator()
+    sim.schedule(0.5, lambda: None)  # pre-existing event coexists
+
+    def main(ctx):
+        yield Sleep(1.0)
+        return ctx.now
+
+    run = run_gaspi(main, n_ranks=1, sim=sim)
+    assert run.sim is sim
+    assert run.result(0) == 1.0
+
+
+def test_until_bounds_unfinished_run():
+    def main(ctx):
+        yield Sleep(1000.0)
+        return "finished"
+
+    run = run_gaspi(main, n_ranks=1, until=5.0)
+    assert run.result(0) is None
+    assert run.elapsed == 5.0
+
+
+def test_world_launch_binds_helper_to_rank():
+    from repro.cluster import FaultPlan
+
+    def helper():
+        yield Sleep(1000.0)
+
+    def main(ctx):
+        ctx.world.launch(ctx.rank, helper(), name=f"helper-{ctx.rank}")
+        yield Sleep(1000.0)
+
+    plan = FaultPlan().kill_process(1.0, 0)
+    run = run_gaspi(main, n_ranks=1, fault_plan=plan, until=10.0)
+    helpers = [p for p in run.sim.processes if p.name == "helper-0"]
+    assert len(helpers) == 1
+    assert not helpers[0].alive  # died with its rank

@@ -1,0 +1,124 @@
+"""Unit tests for segments and notification boards (no simulator needed)."""
+
+import numpy as np
+import pytest
+
+from repro.gaspi import GaspiUsageError, NotificationBoard, Segment, SegmentTable
+
+
+class TestSegment:
+    def test_zero_initialised(self):
+        seg = Segment(0, 64)
+        assert seg.size == 64
+        assert not seg.buf.any()
+
+    def test_read_write_roundtrip(self):
+        seg = Segment(0, 64)
+        seg.write_bytes(8, b"hello")
+        assert seg.read_bytes(8, 5) == b"hello"
+        assert seg.read_bytes(0, 8) == b"\0" * 8
+
+    def test_bounds_checked(self):
+        seg = Segment(0, 16)
+        with pytest.raises(GaspiUsageError):
+            seg.read_bytes(10, 8)
+        with pytest.raises(GaspiUsageError):
+            seg.write_bytes(-1, b"x")
+        with pytest.raises(GaspiUsageError):
+            seg.write_bytes(16, b"x")
+
+    def test_view_is_zero_copy(self):
+        seg = Segment(0, 64)
+        view = seg.view(np.float64, offset=8, count=4)
+        view[:] = [1.0, 2.0, 3.0, 4.0]
+        again = seg.view(np.float64, offset=8, count=4)
+        assert list(again) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_view_default_count_extends_to_end(self):
+        seg = Segment(0, 64)
+        assert seg.view(np.float64).shape == (8,)
+        assert seg.view(np.int32, offset=4).shape == (15,)
+
+    def test_view_bounds_checked(self):
+        seg = Segment(0, 16)
+        with pytest.raises(GaspiUsageError):
+            seg.view(np.float64, offset=0, count=3)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(GaspiUsageError):
+            Segment(0, 0)
+
+
+class TestSegmentTable:
+    def test_create_get_delete(self):
+        table = SegmentTable()
+        seg = table.create(3, 128)
+        assert table.get(3) is seg
+        assert 3 in table
+        assert len(table) == 1
+        table.delete(3)
+        assert 3 not in table
+
+    def test_duplicate_id_rejected(self):
+        table = SegmentTable()
+        table.create(0, 16)
+        with pytest.raises(GaspiUsageError):
+            table.create(0, 16)
+
+    def test_missing_segment_rejected(self):
+        table = SegmentTable()
+        with pytest.raises(GaspiUsageError):
+            table.get(9)
+        with pytest.raises(GaspiUsageError):
+            table.delete(9)
+
+
+class TestNotificationBoard:
+    def test_post_and_pending(self):
+        board = NotificationBoard(16)
+        assert board.pending_in(0, 16) == -1
+        board.post(5, 42)
+        assert board.pending_in(0, 16) == 5
+        assert board.pending_in(6, 10) == -1
+
+    def test_lowest_pending_returned(self):
+        board = NotificationBoard(16)
+        board.post(9, 1)
+        board.post(3, 1)
+        assert board.pending_in(0, 16) == 3
+
+    def test_reset_consumes_value(self):
+        board = NotificationBoard(8)
+        board.post(2, 77)
+        assert board.reset(2) == 77
+        assert board.reset(2) == 0
+        assert board.pending_in(0, 8) == -1
+
+    def test_zero_value_rejected(self):
+        board = NotificationBoard(8)
+        with pytest.raises(GaspiUsageError):
+            board.post(0, 0)
+
+    def test_out_of_range_rejected(self):
+        board = NotificationBoard(8)
+        with pytest.raises(GaspiUsageError):
+            board.post(8, 1)
+        with pytest.raises(GaspiUsageError):
+            board.pending_in(0, 9)
+        with pytest.raises(GaspiUsageError):
+            board.pending_in(4, 0)
+
+    def test_subscriber_woken_only_for_its_range(self):
+        board = NotificationBoard(16)
+        ev_low = board.subscribe(0, 4)
+        ev_high = board.subscribe(8, 4)
+        board.post(9, 1)
+        assert not ev_low.fired
+        assert ev_high.fired and ev_high.value == 9
+
+    def test_unsubscribe(self):
+        board = NotificationBoard(16)
+        ev = board.subscribe(0, 16)
+        board.unsubscribe(ev)
+        board.post(0, 1)
+        assert not ev.fired

@@ -1,0 +1,90 @@
+"""Tests for the machine/roofline/calibration models and workload specs."""
+
+import dataclasses
+
+import pytest
+
+from repro.perfmodel import (
+    LIMA,
+    PAPER_ITERATION_TIME,
+    CalibratedTimeModel,
+    RooflineModel,
+    paper_time_model,
+)
+from repro.perfmodel.calibration import (
+    PAPER_MATRIX_NNZ,
+    PAPER_MATRIX_ROWS,
+    PAPER_WORKERS,
+)
+from repro.workloads import PAPER_GRAPHENE, scaled_spec
+
+
+class TestRoofline:
+    def test_times_positive_and_monotonic(self):
+        model = RooflineModel()
+        t1 = model.spmv_time(10**6, 10**5)
+        t2 = model.spmv_time(2 * 10**6, 10**5)
+        assert 0 < t1 < t2
+
+    def test_efficiency_scales_inverse(self):
+        fast = RooflineModel(efficiency=1.0)
+        slow = RooflineModel(efficiency=0.5)
+        assert slow.spmv_time(10**6, 10**5) == pytest.approx(
+            2 * fast.spmv_time(10**6, 10**5)
+        )
+
+    def test_ranks_per_node_share_bandwidth(self):
+        one = RooflineModel(ranks_per_node=1)
+        two = RooflineModel(ranks_per_node=2)
+        assert two.iteration_time(10**6, 10**5) == pytest.approx(
+            2 * one.iteration_time(10**6, 10**5)
+        )
+
+    def test_lima_description(self):
+        assert LIMA.cores == 12
+        assert LIMA.clock_hz == pytest.approx(2.66e9)
+
+
+class TestCalibration:
+    def test_fit_reproduces_anchor_exactly(self):
+        model = CalibratedTimeModel.fit(10**6, 10**5, target_iteration_time=0.25)
+        assert model.iteration_time(10**6, 10**5) == pytest.approx(0.25)
+
+    def test_paper_model_hits_paper_iteration_time(self):
+        model = paper_time_model()
+        rows = PAPER_MATRIX_ROWS // PAPER_WORKERS
+        nnz = PAPER_MATRIX_NNZ // PAPER_WORKERS
+        assert model.iteration_time(nnz, rows) == pytest.approx(
+            PAPER_ITERATION_TIME
+        )
+
+    def test_paper_iteration_time_near_0_414(self):
+        assert PAPER_ITERATION_TIME == pytest.approx(0.414, abs=0.001)
+
+
+class TestWorkloadSpec:
+    def test_paper_spec_dimensions(self):
+        spec = PAPER_GRAPHENE
+        assert spec.n_rows == 120_000_000
+        assert spec.nnz == 1_500_000_000
+        assert spec.n_workers == 256
+        assert spec.n_iterations == 3500
+        assert spec.checkpoint_interval == 500
+        assert spec.checkpoint_bytes_per_worker == pytest.approx(7.42e6, rel=0.01)
+        assert spec.baseline_runtime == pytest.approx(1450.0, rel=0.01)
+
+    def test_scaled_spec_preserves_per_worker_shape(self):
+        spec = scaled_spec(workers=64, iterations=700)
+        assert spec.rows_per_worker == PAPER_GRAPHENE.rows_per_worker
+        assert spec.nnz_per_worker == PAPER_GRAPHENE.nnz_per_worker
+        assert spec.checkpoint_bytes_per_worker == \
+            PAPER_GRAPHENE.checkpoint_bytes_per_worker
+        assert spec.iteration_time == PAPER_GRAPHENE.iteration_time
+        # checkpoint count preserved: 700/100 == 3500/500
+        assert spec.n_iterations / spec.checkpoint_interval == pytest.approx(
+            PAPER_GRAPHENE.n_iterations / PAPER_GRAPHENE.checkpoint_interval
+        )
+
+    def test_iteration_time_roundtrip(self):
+        spec = PAPER_GRAPHENE
+        assert spec.iteration_of_time(spec.time_of_iteration(700)) == 700

@@ -1,0 +1,95 @@
+"""Tests for the QL tridiagonal eigensolver (vs LAPACK reference)."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers import ql_eigenvalues, lanczos_matrix_eigenvalues
+
+
+def reference(diag, off):
+    return np.sort(sla.eigh_tridiagonal(diag, off, eigvals_only=True))
+
+
+def test_single_element():
+    assert np.array_equal(ql_eigenvalues(np.array([3.5]), np.array([])), [3.5])
+
+
+def test_empty():
+    assert ql_eigenvalues(np.array([]), np.array([])).size == 0
+
+
+def test_two_by_two_exact():
+    # [[a, b], [b, c]] has eigenvalues (a+c)/2 +- sqrt(((a-c)/2)^2 + b^2)
+    d = np.array([1.0, 3.0])
+    e = np.array([2.0])
+    expected = np.array([2.0 - np.sqrt(5.0), 2.0 + np.sqrt(5.0)])
+    assert np.allclose(ql_eigenvalues(d, e), expected)
+
+
+def test_diagonal_matrix_returns_sorted_diagonal():
+    d = np.array([5.0, -1.0, 3.0])
+    e = np.zeros(2)
+    assert np.allclose(ql_eigenvalues(d, e), [-1.0, 3.0, 5.0])
+
+
+def test_classic_laplacian_eigenvalues():
+    n = 20
+    d = np.full(n, 2.0)
+    e = np.full(n - 1, -1.0)
+    expected = 2.0 - 2.0 * np.cos(np.arange(1, n + 1) * np.pi / (n + 1))
+    assert np.allclose(ql_eigenvalues(d, e), np.sort(expected), atol=1e-12)
+
+
+def test_matches_lapack_random():
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        n = rng.integers(2, 60)
+        d = rng.standard_normal(n)
+        e = rng.standard_normal(n - 1)
+        assert np.allclose(ql_eigenvalues(d, e), reference(d, e),
+                           atol=1e-10), f"n={n}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 40),
+    seed=st.integers(0, 2**31),
+    scale=st.floats(1e-3, 1e3),
+)
+def test_property_matches_lapack(n, seed, scale):
+    rng = np.random.default_rng(seed)
+    d = rng.standard_normal(n) * scale
+    e = rng.standard_normal(max(n - 1, 0)) * scale
+    ours = ql_eigenvalues(d, e)
+    ref = reference(d, e) if n > 1 else np.array([d[0]])
+    assert np.allclose(ours, ref, rtol=1e-9, atol=1e-9 * scale)
+
+
+def test_eigenvalue_sum_equals_trace():
+    rng = np.random.default_rng(1)
+    d = rng.standard_normal(30)
+    e = rng.standard_normal(29)
+    assert ql_eigenvalues(d, e).sum() == pytest.approx(d.sum(), rel=1e-10)
+
+
+def test_offdiag_length_validation():
+    with pytest.raises(ValueError):
+        ql_eigenvalues(np.zeros(4), np.zeros(5))
+
+
+def test_offdiag_may_include_trailing_recurrence_entry():
+    # lanczos convention: beta has one trailing entry (beta_{j+1})
+    d = np.array([2.0, 2.0, 2.0])
+    beta = np.array([-1.0, -1.0, 0.7])  # trailing entry must be ignored
+    out = lanczos_matrix_eigenvalues(d, beta)
+    assert np.allclose(out, reference(d, beta[:2]))
+
+
+def test_tight_cluster_resolved():
+    d = np.array([1.0, 1.0 + 1e-10, 1.0 + 2e-10])
+    e = np.full(2, 1e-12)
+    out = ql_eigenvalues(d, e)
+    assert np.allclose(out, reference(d, e), atol=1e-14)

@@ -1,0 +1,177 @@
+"""Tests for row partitioning and the on-the-fly matrix generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spmvm import CSRMatrix, RowPartition
+from repro.spmvm.matgen import (
+    GrapheneSheet,
+    Laplacian1D,
+    Laplacian2D,
+    RandomSparse,
+    hash_uniform,
+)
+
+
+class TestRowPartition:
+    def test_balanced_even_split(self):
+        p = RowPartition(12, 4)
+        assert p.sizes() == [3, 3, 3, 3]
+        assert p.range_of(0) == (0, 3)
+        assert p.range_of(3) == (9, 12)
+
+    def test_remainder_spread_to_first_parts(self):
+        p = RowPartition(10, 4)
+        assert p.sizes() == [3, 3, 2, 2]
+        assert sum(p.sizes()) == 10
+
+    @settings(max_examples=50, deadline=None)
+    @given(n_rows=st.integers(0, 500), n_parts=st.integers(1, 32))
+    def test_property_blocks_cover_and_balance(self, n_rows, n_parts):
+        p = RowPartition(n_rows, n_parts)
+        ranges = [p.range_of(i) for i in range(n_parts)]
+        # contiguous cover
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == n_rows
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0
+        # balance within 1
+        sizes = p.sizes()
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_owner_matches_ranges(self):
+        p = RowPartition(10, 3)
+        for part in range(3):
+            r0, r1 = p.range_of(part)
+            assert np.all(p.owner(np.arange(r0, r1)) == part)
+
+    def test_owner_out_of_range_rejected(self):
+        p = RowPartition(4, 2)
+        with pytest.raises(ValueError):
+            p.owner(4)
+
+    def test_to_local(self):
+        p = RowPartition(10, 2)
+        assert list(p.to_local(1, np.array([5, 9]))) == [0, 4]
+        with pytest.raises(ValueError):
+            p.to_local(1, np.array([2]))
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            RowPartition(10, 0)
+        with pytest.raises(ValueError):
+            RowPartition(-1, 2)
+        with pytest.raises(ValueError):
+            RowPartition(4, 2).range_of(5)
+
+
+class TestHashUniform:
+    def test_deterministic(self):
+        idx = np.arange(100)
+        assert np.array_equal(hash_uniform(idx, 7), hash_uniform(idx, 7))
+
+    def test_varies_with_seed_and_stream(self):
+        idx = np.arange(100)
+        a = hash_uniform(idx, 1)
+        assert not np.array_equal(a, hash_uniform(idx, 2))
+        assert not np.array_equal(a, hash_uniform(idx, 1, stream=1))
+
+    def test_range_and_rough_uniformity(self):
+        u = hash_uniform(np.arange(20000), 3)
+        assert u.min() >= 0.0 and u.max() < 1.0
+        assert abs(u.mean() - 0.5) < 0.01
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("gen", [
+        GrapheneSheet(3, 4),
+        GrapheneSheet(3, 4, disorder=2.0, seed=5),
+        GrapheneSheet(4, 4, periodic=True),
+        Laplacian1D(17),
+        Laplacian2D(4, 5),
+        RandomSparse(30, nnz_per_row=4, seed=2),
+    ])
+    def test_block_independence(self, gen):
+        """Any block decomposition reproduces the same global matrix."""
+        full = gen.full().to_dense()
+        p = RowPartition(gen.n_rows, 3)
+        stacked = np.vstack([
+            gen.generate_rows(*p.range_of(i)).to_dense() for i in range(3)
+        ])
+        assert np.array_equal(full, stacked)
+
+    @pytest.mark.parametrize("gen", [
+        GrapheneSheet(3, 3),
+        GrapheneSheet(3, 3, disorder=1.0, seed=9),
+        GrapheneSheet(4, 4, periodic=True),
+        Laplacian1D(10),
+        Laplacian2D(3, 4),
+    ])
+    def test_symmetry(self, gen):
+        assert gen.full().is_symmetric()
+
+    def test_graphene_dimensions_and_degree(self):
+        gen = GrapheneSheet(4, 5, t=1.0)
+        assert gen.n_rows == 40
+        full = gen.full()
+        # open boundaries: interior sites have 3 neighbours, no onsite term
+        # (onsite=0 entries are dropped), so max degree is 3
+        assert full.row_nnz().max() == 3
+        assert full.row_nnz().min() >= 1
+
+    def test_graphene_periodic_every_site_three_neighbors(self):
+        full = GrapheneSheet(3, 3, periodic=True).full()
+        assert np.all(full.row_nnz() == 3)
+
+    def test_graphene_spectrum_symmetric_about_zero(self):
+        """Bipartite lattice: eigenvalues come in +/- pairs."""
+        full = GrapheneSheet(3, 3).full().to_dense()
+        eig = np.linalg.eigvalsh(full)
+        assert np.allclose(eig, -eig[::-1], atol=1e-10)
+
+    def test_graphene_disorder_changes_diagonal_only(self):
+        clean = GrapheneSheet(3, 3).full().to_dense()
+        noisy = GrapheneSheet(3, 3, disorder=1.0, seed=4).full().to_dense()
+        off_clean = clean - np.diag(np.diag(clean))
+        off_noisy = noisy - np.diag(np.diag(noisy))
+        assert np.array_equal(off_clean, off_noisy)
+        assert np.abs(np.diag(noisy)).max() <= 0.5
+        assert np.any(np.diag(noisy) != 0)
+
+    def test_graphene_rejects_bad_lattice(self):
+        with pytest.raises(ValueError):
+            GrapheneSheet(0, 3)
+        with pytest.raises(ValueError):
+            GrapheneSheet(1, 1, periodic=True)
+
+    def test_laplacian1d_matches_classic_tridiagonal(self):
+        full = Laplacian1D(5).full().to_dense()
+        expected = 2 * np.eye(5) - np.eye(5, k=1) - np.eye(5, k=-1)
+        assert np.array_equal(full, expected)
+
+    def test_laplacian2d_exact_eigenvalues(self):
+        gen = Laplacian2D(4, 3)
+        eig = np.linalg.eigvalsh(gen.full().to_dense())
+        assert np.allclose(np.sort(eig), gen.exact_eigenvalues(), atol=1e-10)
+
+    def test_random_sparse_reproducible_and_bounded_degree(self):
+        a = RandomSparse(50, nnz_per_row=6, seed=1).full()
+        b = RandomSparse(50, nnz_per_row=6, seed=1).full()
+        assert np.array_equal(a.to_dense(), b.to_dense())
+        assert a.row_nnz().max() <= 6  # duplicates may merge, never exceed
+
+    def test_random_sparse_symmetrized_is_symmetric(self):
+        sym = RandomSparse(20, nnz_per_row=4, seed=3).symmetrized_full()
+        assert sym.is_symmetric()
+
+    def test_random_sparse_diagonal_dominance_option(self):
+        a = RandomSparse(20, nnz_per_row=3, seed=0, diagonal=10.0).symmetrized_full()
+        dense = a.to_dense()
+        assert np.all(np.linalg.eigvalsh(dense) > 0)  # SPD for CG tests
+
+    def test_generator_bad_range_rejected(self):
+        gen = Laplacian1D(10)
+        with pytest.raises(ValueError):
+            gen.generate_rows(5, 11)

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples double as end-to-end acceptance tests — each one asserts its
+own correctness claims internally; here we just execute their mains.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name, marker", [
+    ("quickstart", "OK"),
+    ("failure_storm", "OK"),
+    ("fd_strategies", "local flag read"),
+    ("checkpoint_tuning", "measured best interval"),
+    ("ulfm_vs_gaspi", "OK"),
+    ("recovery_anatomy", "recovery cost report"),
+])
+def test_example_runs(name, marker, capsys):
+    load_example(name).main()
+    out = capsys.readouterr().out
+    assert marker in out
+
+
+def test_graphene_spectrum_example(capsys):
+    load_example("graphene_spectrum").main()
+    out = capsys.readouterr().out
+    assert "match SciPy" in out

@@ -1,0 +1,179 @@
+"""Tests for the mini-ULFM layer (revoke / shrink / agree semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FaultPlan, MachineSpec, TransportParams
+from repro.gaspi import AllreduceOp, run_gaspi
+from repro.sim import Sleep
+from repro.ulfm import UlfmComm, UlfmResult
+
+
+def launch(main, n_ranks=4, plan=None, until=600.0, error_timeout=1.0):
+    spec = MachineSpec(
+        n_nodes=n_ranks,
+        transport_params=TransportParams(error_timeout=error_timeout),
+    )
+    return run_gaspi(main, machine_spec=spec, fault_plan=plan, until=until)
+
+
+class TestHealthyOperation:
+    def test_send_recv(self):
+        def main(ctx):
+            comm = UlfmComm(ctx, list(range(4)))
+            if comm.rank == 0:
+                ret = yield from comm.send(3, {"x": 1})
+                return ret
+            if comm.rank == 3:
+                ret, src, payload = yield from comm.recv()
+                return (ret, src, payload)
+
+        run = launch(main)
+        assert run.result(0) is UlfmResult.SUCCESS
+        assert run.result(3) == (UlfmResult.SUCCESS, 0, {"x": 1})
+
+    def test_barrier_and_allreduce(self):
+        def main(ctx):
+            comm = UlfmComm(ctx, list(range(4)))
+            ret = yield from comm.barrier()
+            assert ret is UlfmResult.SUCCESS
+            ret, total = yield from comm.allreduce(
+                np.array([float(comm.rank)]), AllreduceOp.SUM
+            )
+            return (ret, float(total[0]))
+
+        run = launch(main)
+        for r in range(4):
+            assert run.result(r) == (UlfmResult.SUCCESS, 6.0)
+
+    def test_comm_rank_is_position_not_physical(self):
+        def main(ctx):
+            if ctx.rank in (1, 3):
+                comm = UlfmComm(ctx, [1, 3])
+                if False:
+                    yield
+                return comm.rank
+
+        run = launch(main)
+        assert run.result(1) == 0
+        assert run.result(3) == 1
+
+
+class TestFailureSemantics:
+    def test_send_to_dead_rank_returns_proc_failed(self):
+        def main(ctx):
+            comm = UlfmComm(ctx, list(range(4)))
+            if comm.rank == 0:
+                yield Sleep(1.0)
+                ret = yield from comm.send(2, "hello")
+                return ret
+            yield Sleep(120.0)
+
+        plan = FaultPlan().kill_process(0.5, 2)
+        run = launch(main, plan=plan)
+        assert run.result(0) is UlfmResult.PROC_FAILED
+
+    def test_collective_with_dead_member_returns_proc_failed(self):
+        def main(ctx):
+            comm = UlfmComm(ctx, list(range(4)))
+            if ctx.rank == 3:
+                yield Sleep(120.0)
+                return None
+            ret = yield from comm.barrier()
+            return ret
+
+        plan = FaultPlan().kill_process(0.5, 3)
+        run = launch(main, plan=plan)
+        for r in range(3):
+            assert run.result(r) is UlfmResult.PROC_FAILED
+
+    def test_recv_timeout_after_sender_death(self):
+        def main(ctx):
+            comm = UlfmComm(ctx, [0, 1])
+            if comm.rank == 1:
+                ret, src, payload = yield from comm.recv(timeout=3.0)
+                return ret
+            yield Sleep(120.0)
+
+        plan = FaultPlan().kill_process(0.5, 0)
+        run = launch(main, n_ranks=2, plan=plan)
+        assert run.result(1) is UlfmResult.PROC_FAILED
+
+
+class TestRevokeShrinkAgree:
+    def test_revoke_poisons_all_members(self):
+        def main(ctx):
+            comm = UlfmComm(ctx, list(range(4)))
+            if ctx.rank == 0:
+                yield from comm.revoke()
+                return "revoked"
+            yield Sleep(1.0)  # let the notice arrive
+            ret = yield from comm.barrier()
+            return ret
+
+        run = launch(main)
+        for r in range(1, 4):
+            assert run.result(r) is UlfmResult.REVOKED
+
+    def test_full_ulfm_recovery_cycle(self):
+        """The canonical ULFM pattern: fail -> revoke -> agree -> shrink."""
+
+        def main(ctx):
+            comm = UlfmComm(ctx, list(range(5)))
+            if ctx.rank == 4:
+                yield Sleep(120.0)
+                return None
+            ret = yield from comm.barrier()
+            if ret is UlfmResult.PROC_FAILED:
+                yield from comm.revoke()
+            yield Sleep(0.5)
+            ret, ok_flag = yield from comm.agree(1)
+            assert ret is UlfmResult.SUCCESS
+            ret, new_comm = yield from comm.shrink()
+            assert ret is UlfmResult.SUCCESS
+            # the shrunken communicator works again
+            ret, total = yield from new_comm.allreduce(
+                np.array([1.0]), AllreduceOp.SUM
+            )
+            return (new_comm.size, float(total[0]))
+
+        plan = FaultPlan().kill_process(0.2, 4)
+        run = launch(main, n_ranks=5, plan=plan)
+        for r in range(4):
+            assert run.result(r) == (4, 4.0)
+
+    def test_agree_ands_flags_of_survivors(self):
+        def main(ctx):
+            comm = UlfmComm(ctx, list(range(3)))
+            flag = 0 if ctx.rank == 1 else 1
+            ret, agreed = yield from comm.agree(flag)
+            return agreed
+
+        run = launch(main, n_ranks=3)
+        assert all(run.result(r) == 0 for r in range(3))
+
+    def test_shrink_cost_linear_in_parent_size(self):
+        def make(n):
+            def main(ctx):
+                comm = UlfmComm(ctx, list(range(n)))
+                t0 = ctx.now
+                yield from comm.shrink()
+                return ctx.now - t0
+            return main
+
+        t8 = launch(make(8), n_ranks=8).result(0)
+        t64 = launch(make(64), n_ranks=64).result(0)
+        base = 0.100
+        assert (t64 - base) / (t8 - base) == pytest.approx(8.0, rel=0.1)
+
+    def test_membership_validation(self):
+        def main(ctx):
+            if ctx.rank == 0:
+                try:
+                    UlfmComm(ctx, [1, 2])
+                except ValueError:
+                    return "rejected"
+            if False:
+                yield
+
+        assert launch(main).result(0) == "rejected"
