@@ -6,19 +6,36 @@ Subcommands map to the experiment harness modules:
 * ``table1``   — FD scan/detection latency vs node count
 * ``ablations``— FD strategies, checkpoint interval/destination, commit
 * ``compare``  — non-shrinking (paper) vs shrinking (ULFM) recovery
+* ``bench``    — hot-path microbenchmarks, tracked in ``BENCH_core.json``
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro.experiments import ablations, figure4, recovery_compare, table1
+
+def _bench_main(argv):
+    from repro.perf import bench
+
+    return bench.main(argv)
+
+
+def _experiment_main(name):
+    def run(argv):
+        import importlib
+
+        module = importlib.import_module(f"repro.experiments.{name}")
+        return module.main(argv)
+
+    return run
+
 
 _COMMANDS = {
-    "figure4": figure4.main,
-    "table1": table1.main,
-    "ablations": ablations.main,
-    "compare": recovery_compare.main,
+    "figure4": _experiment_main("figure4"),
+    "table1": _experiment_main("table1"),
+    "ablations": _experiment_main("ablations"),
+    "compare": _experiment_main("recovery_compare"),
+    "bench": _bench_main,
 }
 
 
@@ -29,8 +46,8 @@ def main(argv=None) -> int:
         print("usage: python -m repro {" + ",".join(_COMMANDS) + "} [options]")
         return 0 if argv and argv[0] in ("-h", "--help") else 2
     command = argv.pop(0)
-    _COMMANDS[command](argv)
-    return 0
+    result = _COMMANDS[command](argv)
+    return result if isinstance(result, int) else 0
 
 
 if __name__ == "__main__":

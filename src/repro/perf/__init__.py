@@ -1,0 +1,11 @@
+"""Performance baseline harness (``python -m repro bench``).
+
+Tracks the wall-clock throughput of the repository's hot paths — the DES
+kernel, the CSR spMVM, and the end-to-end Figure-4 harness — in
+``BENCH_core.json`` so optimisation PRs have a recorded trajectory to
+beat.  See :mod:`repro.perf.bench`.
+"""
+
+from repro.perf.bench import main, run_benches
+
+__all__ = ["main", "run_benches"]

@@ -1,0 +1,335 @@
+"""Microbenchmarks of the hot paths, tracked in ``BENCH_core.json``.
+
+The experiments in this reproduction are bounded by two loops: the DES
+kernel's event dispatch and the CSR spMVM called once per solver
+iteration.  This module measures both (plus the end-to-end Figure-4
+harness wall time) and records the numbers in a JSON file at the repo
+root, so every optimisation PR has a before/after trajectory:
+
+* ``python -m repro bench --record-seed``  — run once *before* an
+  optimisation; stores the measurements under the ``"seed"`` key.
+* ``python -m repro bench``                — measures again, stores the
+  results under ``"current"`` and the per-metric ``"speedup"`` ratios
+  (current/seed for throughputs, seed/current for wall times — bigger is
+  always better).
+
+Timing methodology: every bench runs ``repeats`` times and the *best*
+run is recorded.  Throughput noise on shared machines is strictly
+additive (interference only ever slows a run down), so min-time /
+max-throughput is the stable statistic, as pytest-benchmark's own
+calibration notes recommend.
+
+Metric naming convention: ``*_eps`` are events (or operations) per
+second, ``*_mflops`` are MFLOP/s, ``*_wall_s`` are wall-clock seconds
+(the only lower-is-better family).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from typing import Callable, Dict, List, Optional
+
+BENCH_FILE = "BENCH_core.json"
+SCHEMA_VERSION = 1
+
+#: acceptance thresholds tracked by the CI smoke job (see ISSUE 1)
+TARGET_SPEEDUP = {
+    "des_event_throughput_eps": 2.0,
+    "spmv_graphene_mflops": 1.5,
+}
+
+
+def _best(fn: Callable[[], float], repeats: int) -> float:
+    """Run ``fn`` (returning a throughput / score) and keep the best."""
+    return max(fn() for _ in range(repeats))
+
+
+# ----------------------------------------------------------------------
+# DES kernel benches
+# ----------------------------------------------------------------------
+def bench_event_chain(n: int = 100_000) -> float:
+    """Timer-chain throughput with a near-empty heap (events/s)."""
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    count = [0]
+
+    def tick() -> None:
+        count[0] += 1
+        if count[0] < n:
+            sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    t0 = time.perf_counter()
+    sim.run()
+    dt = time.perf_counter() - t0
+    assert count[0] == n
+    return n / dt
+
+
+def bench_event_pending(n: int = 100_000, pending: int = 256) -> float:
+    """Timer throughput with ``pending`` timers outstanding (events/s).
+
+    This is the representative kernel load: a paper-scale run keeps one
+    FD timeout, transport delivery and checkpoint timer in flight per
+    worker, so every push/pop traverses a ~256-entry heap.  This is the
+    headline ``des_event_throughput`` metric.
+    """
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    count = [0]
+    horizon = float(n + pending + 10)
+
+    def noop() -> None:
+        pass
+
+    def tick() -> None:
+        count[0] += 1
+        if count[0] < n:
+            sim.schedule(1.0, tick)
+
+    for i in range(pending):
+        sim.schedule(horizon + i, noop)
+    sim.schedule(1.0, tick)
+    t0 = time.perf_counter()
+    sim.run(until=horizon - 1.0)
+    dt = time.perf_counter() - t0
+    assert count[0] == n
+    return n / dt
+
+
+def bench_process_switch(n_procs: int = 20, n_sleeps: int = 5000) -> float:
+    """Generator-process context switches per second."""
+    from repro.sim import Simulator, Sleep
+
+    sim = Simulator()
+
+    def proc():
+        for _ in range(n_sleeps):
+            yield Sleep(1.0)
+
+    for _ in range(n_procs):
+        sim.spawn(proc())
+    t0 = time.perf_counter()
+    sim.run()
+    dt = time.perf_counter() - t0
+    return n_procs * n_sleeps / dt
+
+
+def bench_zero_delay_resume(n: int = 50_000) -> float:
+    """Resumes on already-fired events per second (the run-queue path)."""
+    from repro.sim import Event, Simulator, WaitEvent
+
+    sim = Simulator()
+    fired = Event(name="fired")
+    fired.succeed(1)
+
+    def proc():
+        for _ in range(n):
+            yield WaitEvent(fired)
+
+    sim.spawn(proc())
+    t0 = time.perf_counter()
+    sim.run()
+    dt = time.perf_counter() - t0
+    return n / dt
+
+
+def bench_channel_pingpong(n: int = 10_000) -> float:
+    """Channel round-trips per second (two processes)."""
+    from repro.sim import Channel, Simulator
+
+    sim = Simulator()
+    a, b = Channel("a"), Channel("b")
+
+    def left():
+        for _ in range(n):
+            a.put(1)
+            yield from b.get()
+
+    def right():
+        for _ in range(n):
+            yield from a.get()
+            b.put(1)
+
+    sim.spawn(left())
+    sim.spawn(right())
+    t0 = time.perf_counter()
+    sim.run()
+    dt = time.perf_counter() - t0
+    return n / dt
+
+
+# ----------------------------------------------------------------------
+# spMVM benches
+# ----------------------------------------------------------------------
+def _spmv_mflops(matrix, reps: int = 30) -> float:
+    import numpy as np
+
+    x = np.random.default_rng(0).standard_normal(matrix.n_cols)
+    out = np.empty(matrix.n_rows)
+    for _ in range(3):  # warm caches / lazy plans
+        matrix.spmv(x, out=out)
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        matrix.spmv(x, out=out)
+    dt = (time.perf_counter() - t0) / reps
+    return 2.0 * matrix.nnz / dt / 1e6
+
+
+def bench_spmv_graphene() -> float:
+    """CSR spMVM MFLOP/s, graphene sheet (28.8k rows, ~115k nnz)."""
+    from repro.spmvm.matgen import GrapheneSheet
+
+    return _spmv_mflops(GrapheneSheet(120, 120, disorder=1.0, seed=0).full())
+
+
+def bench_spmv_laplacian() -> float:
+    """CSR spMVM MFLOP/s, 2-D Laplacian (90k rows, ~449k nnz)."""
+    from repro.spmvm.matgen import Laplacian2D
+
+    return _spmv_mflops(Laplacian2D(300, 300).full())
+
+
+def bench_lanczos_sequential(n_steps: int = 50) -> float:
+    """Sequential Lanczos wall time (s): spMVM + BLAS1 mix."""
+    from repro.solvers import lanczos_sequential
+    from repro.spmvm.matgen import GrapheneSheet
+
+    matrix = GrapheneSheet(120, 120, disorder=1.0, seed=0).full()
+    lanczos_sequential(matrix, 5)  # warm-up
+    t0 = time.perf_counter()
+    lanczos_sequential(matrix, n_steps)
+    return time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
+# end-to-end
+# ----------------------------------------------------------------------
+def bench_figure4(scale: str) -> float:
+    """Wall time (s) of the full Figure-4 scenario suite at ``scale``."""
+    from repro.experiments.figure4 import default_spec, run_figure4
+
+    spec = default_spec(scale)
+    t0 = time.perf_counter()
+    outcomes = run_figure4(spec)
+    dt = time.perf_counter() - t0
+    assert len(outcomes) == 7
+    return dt
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+def run_benches(quick: bool = False, repeats: int = 5) -> Dict[str, float]:
+    """Run the suite; returns ``{metric: value}`` (see naming convention)."""
+    if quick:
+        repeats = max(2, repeats // 2)
+    metrics: Dict[str, float] = {}
+    metrics["des_event_throughput_eps"] = _best(bench_event_pending, repeats)
+    metrics["event_chain_eps"] = _best(bench_event_chain, repeats)
+    metrics["process_switch_eps"] = _best(bench_process_switch, repeats)
+    metrics["zero_delay_resume_eps"] = _best(bench_zero_delay_resume, repeats)
+    metrics["channel_pingpong_eps"] = _best(bench_channel_pingpong, repeats)
+    metrics["spmv_graphene_mflops"] = _best(bench_spmv_graphene, repeats)
+    metrics["spmv_laplacian_mflops"] = _best(bench_spmv_laplacian, repeats)
+    metrics["lanczos_seq_wall_s"] = min(
+        bench_lanczos_sequential() for _ in range(repeats)
+    )
+    metrics["figure4_tiny_wall_s"] = min(
+        bench_figure4("tiny") for _ in range(max(2, repeats - 2))
+    )
+    if not quick:
+        metrics["figure4_small_wall_s"] = min(bench_figure4("small")
+                                              for _ in range(2))
+    return {k: round(v, 3) for k, v in metrics.items()}
+
+
+def _speedup(seed: Dict[str, float], cur: Dict[str, float]) -> Dict[str, float]:
+    """Per-metric improvement ratio; > 1.0 always means faster."""
+    out = {}
+    for key, new in cur.items():
+        old = seed.get(key)
+        if not old or not new:
+            continue
+        ratio = old / new if key.endswith("_wall_s") else new / old
+        out[key] = round(ratio, 3)
+    return out
+
+
+def _environment() -> Dict[str, str]:
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "recorded": time.strftime("%Y-%m-%d"),
+    }
+
+
+def load_report(path: str) -> Dict:
+    if os.path.exists(path):
+        with open(path) as fh:
+            try:
+                report = json.load(fh)
+            except json.JSONDecodeError:
+                report = {}
+        if report.get("schema") == SCHEMA_VERSION:
+            return report
+    return {"schema": SCHEMA_VERSION}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Hot-path microbenchmarks, tracked in BENCH_core.json.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats, skip the slow end-to-end bench")
+    parser.add_argument("--record-seed", action="store_true",
+                        help="store this run as the 'seed' baseline "
+                             "(run before an optimisation)")
+    parser.add_argument("--out", default=BENCH_FILE,
+                        help=f"output JSON path (default: {BENCH_FILE})")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if a tracked speedup target "
+                             "is missed (no-op without a seed baseline)")
+    args = parser.parse_args(argv)
+
+    metrics = run_benches(quick=args.quick)
+    report = load_report(args.out)
+    if args.record_seed:
+        report["seed"] = {**metrics, "environment": _environment()}
+    else:
+        report["current"] = {**metrics, "environment": _environment()}
+        seed = report.get("seed")
+        if seed:
+            report["speedup"] = _speedup(seed, metrics)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    width = max(len(k) for k in metrics)
+    section = "seed" if args.record_seed else "current"
+    print(f"# {section} -> {args.out}")
+    for key, value in metrics.items():
+        line = f"{key:<{width}}  {value:>14,.3f}"
+        ratio = report.get("speedup", {}).get(key)
+        if ratio is not None and not args.record_seed:
+            line += f"   x{ratio:.2f} vs seed"
+        print(line)
+
+    if args.check and "speedup" in report:
+        missed = {k: v for k, v in TARGET_SPEEDUP.items()
+                  if report["speedup"].get(k, 0.0) < v}
+        if missed:
+            print(f"FAIL: speedup targets missed: {missed}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

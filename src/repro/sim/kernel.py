@@ -1,38 +1,164 @@
 """The simulation kernel: virtual clock, event heap, process scheduling.
 
 The kernel is a classic calendar-queue DES loop.  All state changes happen
-inside scheduled thunks popped from a single heap ordered by
-``(time, sequence)``; the sequence number makes execution order fully
-deterministic even for simultaneous events.
+inside scheduled thunks ordered by ``(time, sequence)``; the sequence
+number makes execution order fully deterministic even for simultaneous
+events.
+
+Performance architecture (this module is the hottest loop in the repo —
+every paper-scale experiment replays millions of events through it):
+
+* **C-comparable heap entries.**  Heap entries are plain Python lists
+  ``[time, seq, fn, proc, value]`` (the public :class:`Timer` handle is a
+  ``list`` subclass with the same layout plus a kernel back-reference), so
+  every ``heapq`` sift uses CPython's C list comparison instead of a
+  Python-level ``__lt__`` — ``(time, seq)`` is compared element-wise and
+  the unique ``seq`` guarantees later fields are never reached.
+* **Same-timestamp FIFO run-queue.**  Zero-delay schedules (process
+  spawns, resumes on already-fired events, zero-delay callbacks) are
+  appended to a deque instead of the heap.  Because ``now`` never
+  advances while the run-queue is non-empty, its entries all carry
+  ``time == now`` and strictly increasing ``seq``, so FIFO order *is*
+  ``(time, seq)`` order; the dispatch loop merges the run-queue head with
+  the heap top to preserve the exact seed total order bit-for-bit.
+* **Dispatch records instead of closures.**  Process steps are encoded in
+  the entry itself (``fn is None`` → resume ``proc`` with ``value``), so
+  stepping a process allocates one small list — no lambda, no bound
+  method.  Event waits register a single :class:`_EventWaiter` record.
+* **Lazy-cancel compaction.**  Cancellation only flags the entry; a
+  counter of dead entries triggers an O(n) rebuild of the heap once the
+  dead fraction reaches one half, so long FD-scan runs do not accumulate
+  cancelled timeout timers.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, List, Optional
+from collections import deque
+from heapq import heapify, heappop, heappush
+from itertools import count
+from typing import Any, Callable, Generator, Iterator, List, Optional, Union
 
 from repro.sim.errors import SimDeadlock, SimError
 from repro.sim.events import Event, Sleep, WaitEvent
 from repro.sim.process import Process, ProcessState
 
+#: entries with fewer dead timers than this are never compacted
+_COMPACT_MIN_DEAD = 64
 
-class Timer:
-    """Handle for a scheduled callback; supports lazy cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+class Timer(list):
+    """Handle for a scheduled callback; supports lazy cancellation.
 
-    def __init__(self, time: float, seq: int, fn: Callable[[], None]) -> None:
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.cancelled = False
+    A :class:`Timer` *is* its own heap entry: a list laid out as
+    ``[time, seq, fn, proc, value, sim]``.  Cancellation nulls the
+    dispatch fields (``fn``/``proc``) and leaves the entry in place for
+    the kernel to skip (or compact away) later.
+    """
+
+    __slots__ = ()
 
     def cancel(self) -> None:
         """Prevent the callback from running (safe to call repeatedly)."""
-        self.cancelled = True
+        if self[2] is None and self[3] is None:
+            return
+        self[2] = None
+        self[3] = None
+        sim = self[5]
+        if sim is not None:
+            sim._note_cancelled()
 
-    def __lt__(self, other: "Timer") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+    @property
+    def time(self) -> float:
+        return self[0]
+
+    @property
+    def seq(self) -> int:
+        return self[1]
+
+    @property
+    def cancelled(self) -> bool:
+        return self[2] is None and self[3] is None
+
+
+class TraceView:
+    """Read-only, O(1) view of the kernel's step trace.
+
+    The previous ``trace`` property copied the whole list on every access,
+    which made trace-comparing determinism tests O(n²).  This view indexes
+    the live list directly; it compares equal to lists, tuples and other
+    views with the same ``(time, name, kind)`` records.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: List[tuple]) -> None:
+        self._items = items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index) -> Union[tuple, List[tuple]]:
+        return self._items[index]
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TraceView):
+            return self._items == other._items
+        if isinstance(other, list):
+            return self._items == other
+        if isinstance(other, tuple):
+            return len(self._items) == len(other) and all(
+                a == b for a, b in zip(self._items, other)
+            )
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None  # mutable underlying list
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceView({self._items!r})"
+
+
+class _EventWaiter:
+    """One blocked process's registration on an event (+ optional timeout).
+
+    A single ``__slots__`` record replaces the three closures the kernel
+    used to allocate per wait: it is the event callback (``__call__``),
+    the timeout callback (``_on_timeout``) and the deregistration hook
+    (``cancel``, stored in ``proc._cleanup``).
+    """
+
+    __slots__ = ("sim", "proc", "event", "timer")
+
+    def __init__(self, sim: "Simulator", proc: Process, event: Event) -> None:
+        self.sim = sim
+        self.proc = proc
+        self.event = event
+        self.timer: Optional[Timer] = None
+
+    def __call__(self, event: Event) -> None:
+        """The event fired first: cancel the timeout, resume the waiter."""
+        timer = self.timer
+        if timer is not None:
+            timer.cancel()
+        self.sim._step(self.proc, (True, event.value))
+
+    def _on_timeout(self) -> None:
+        """The timeout fired first: deregister, resume with failure."""
+        self.event.discard_callback(self)
+        self.sim._step(self.proc, (False, None))
+
+    def cancel(self) -> None:
+        """Deregister everything (the process was killed)."""
+        self.event.discard_callback(self)
+        timer = self.timer
+        if timer is not None:
+            timer.cancel()
 
 
 class Simulator:
@@ -40,8 +166,10 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Timer] = []
-        self._seq: int = 0
+        self._heap: List[list] = []
+        self._runq: deque = deque()
+        self._seq = count()
+        self._n_cancelled: int = 0
         self._processes: List[Process] = []
         self._trace: Optional[List[tuple]] = None
 
@@ -52,14 +180,62 @@ class Simulator:
         """Run ``fn()`` after ``delay`` virtual seconds; returns a handle."""
         if delay < 0:
             raise SimError(f"cannot schedule in the past (delay={delay})")
-        timer = Timer(self.now + delay, self._seq, fn)
-        self._seq += 1
-        heapq.heappush(self._heap, timer)
+        timer = Timer((self.now + delay, next(self._seq), fn, None, None,
+                       self))
+        if delay == 0.0:
+            self._runq.append(timer)
+        else:
+            heappush(self._heap, timer)
         return timer
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> Timer:
         """Run ``fn()`` at absolute virtual ``time`` (must not be past)."""
+        if time < self.now:
+            raise SimError(
+                f"cannot schedule at past time {time} (now={self.now})"
+            )
         return self.schedule(time - self.now, fn)
+
+    def _schedule_step(self, delay: float, proc: Process, value: Any) -> list:
+        """Kernel-internal: queue a process resume (one list, no closure)."""
+        entry = [self.now + delay, next(self._seq), None, proc, value]
+        if delay == 0.0:
+            self._runq.append(entry)
+        else:
+            heappush(self._heap, entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # lazy-cancel bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Count a newly dead entry; compact once half the heap is dead."""
+        n = self._n_cancelled + 1
+        self._n_cancelled = n
+        if n >= _COMPACT_MIN_DEAD and 2 * n >= len(self._heap):
+            self._compact()
+
+    def _cancel_entry(self, entry: list) -> None:
+        """Cancel a kernel-internal step entry (see :meth:`Timer.cancel`)."""
+        if entry[2] is not None or entry[3] is not None:
+            entry[2] = None
+            entry[3] = None
+            self._note_cancelled()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (order is unaffected)."""
+        heap = self._heap
+        live = [e for e in heap if e[2] is not None or e[3] is not None]
+        if len(live) != len(heap):
+            heap[:] = live
+            heapify(heap)
+        self._n_cancelled = 0
+
+    def _drop_dead(self) -> None:
+        """Bookkeeping for a dead entry that was popped naturally."""
+        n = self._n_cancelled
+        if n:
+            self._n_cancelled = n - 1
 
     # ------------------------------------------------------------------
     # processes
@@ -68,14 +244,18 @@ class Simulator:
         """Register generator ``gen`` as a process, starting it at ``now``."""
         proc = Process(self, gen, name=name or f"proc-{len(self._processes)}")
         self._processes.append(proc)
-        self.schedule(0.0, lambda: self._step(proc, None))
+        self._schedule_step(0.0, proc, None)
         return proc
 
     def spawn_at(self, time: float, gen: Generator, name: str = "") -> Process:
         """Register ``gen`` as a process that starts at absolute ``time``."""
+        if time < self.now:
+            raise SimError(
+                f"cannot spawn at past time {time} (now={self.now})"
+            )
         proc = Process(self, gen, name=name or f"proc-{len(self._processes)}")
         self._processes.append(proc)
-        self.schedule_at(time, lambda: self._step(proc, None))
+        self._schedule_step(time - self.now, proc, None)
         return proc
 
     @property
@@ -91,34 +271,82 @@ class Simulator:
         self._trace = []
 
     @property
-    def trace(self) -> List[tuple]:
-        return list(self._trace or [])
+    def trace(self) -> TraceView:
+        """Read-only view of the recorded steps (no copy; O(1) access)."""
+        return TraceView(self._trace if self._trace is not None else [])
+
+    @property
+    def trace_len(self) -> int:
+        """Number of recorded steps (0 when tracing is disabled)."""
+        return len(self._trace) if self._trace is not None else 0
 
     # ------------------------------------------------------------------
     # the main loop
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None, check_deadlock: bool = False) -> float:
-        """Process events until the heap drains or ``until`` is reached.
+        """Process events until the queues drain or ``until`` is reached.
 
         Returns the final virtual time.  With ``check_deadlock=True``, raises
-        :class:`SimDeadlock` if the heap drains while live processes are
+        :class:`SimDeadlock` if the queues drain while live processes are
         still blocked (every one of them is then waiting on an event that can
         never fire, since nothing remains to fire it).
         """
         heap = self._heap
-        while heap:
-            timer = heap[0]
-            if timer.cancelled:
-                heapq.heappop(heap)
-                continue
-            if until is not None and timer.time > until:
-                self.now = until
-                return self.now
-            heapq.heappop(heap)
-            if timer.time < self.now:  # pragma: no cover - internal invariant
-                raise SimError("time went backwards")
-            self.now = timer.time
-            timer.fn()
+        runq = self._runq
+        step = self._step
+        if until is None:
+            # Tight path: no deadline checks inside the dispatch loop.
+            while True:
+                if runq:
+                    timer = runq[0]
+                    if heap and heap[0] < timer:
+                        timer = heappop(heap)
+                    else:
+                        runq.popleft()
+                elif heap:
+                    timer = heappop(heap)
+                else:
+                    break
+                fn = timer[2]
+                if fn is not None:
+                    self.now = timer[0]
+                    fn()
+                elif timer[3] is not None:
+                    self.now = timer[0]
+                    step(timer[3], timer[4])
+                else:
+                    self._drop_dead()
+        else:
+            while True:
+                # Peek (don't pop) so a too-late timer stays queued.
+                if runq:
+                    timer = runq[0]
+                    in_heap = False
+                    if heap and heap[0] < timer:
+                        timer = heap[0]
+                        in_heap = True
+                elif heap:
+                    timer = heap[0]
+                    in_heap = True
+                else:
+                    break
+                if timer[2] is None and timer[3] is None:
+                    heappop(heap) if in_heap else runq.popleft()
+                    self._drop_dead()
+                    continue
+                if timer[0] > until:
+                    self.now = until
+                    return self.now
+                if in_heap:
+                    heappop(heap)
+                else:
+                    runq.popleft()
+                self.now = timer[0]
+                fn = timer[2]
+                if fn is not None:
+                    fn()
+                else:
+                    step(timer[3], timer[4])
         if check_deadlock:
             stuck = [p for p in self._processes if p.state is ProcessState.WAITING]
             if stuck:
@@ -131,13 +359,30 @@ class Simulator:
     def step_events(self, n: int = 1) -> int:
         """Process up to ``n`` pending events; returns how many ran."""
         ran = 0
-        while ran < n and self._heap:
-            timer = heapq.heappop(self._heap)
-            if timer.cancelled:
-                continue
-            self.now = timer.time
-            timer.fn()
-            ran += 1
+        heap = self._heap
+        runq = self._runq
+        while ran < n:
+            if runq:
+                timer = runq[0]
+                if heap and heap[0] < timer:
+                    timer = heappop(heap)
+                else:
+                    runq.popleft()
+            elif heap:
+                timer = heappop(heap)
+            else:
+                break
+            fn = timer[2]
+            if fn is not None:
+                self.now = timer[0]
+                fn()
+                ran += 1
+            elif timer[3] is not None:
+                self.now = timer[0]
+                self._step(timer[3], timer[4])
+                ran += 1
+            else:
+                self._drop_dead()
         return ran
 
     # ------------------------------------------------------------------
@@ -145,24 +390,31 @@ class Simulator:
     # ------------------------------------------------------------------
     def _step(self, proc: Process, send_value: Any) -> None:
         """Advance ``proc`` by one yield, interpreting its request."""
-        if not proc.alive:
+        state = proc.state
+        if state is ProcessState.DONE or state is ProcessState.KILLED:
             return
         proc.state = ProcessState.RUNNING
         proc._cleanup = None
-        if self._trace is not None:
-            self._trace.append((self.now, proc.name, "step"))
+        trace = self._trace
+        if trace is not None:
+            trace.append((self.now, proc.name, "step"))
         try:
             request = proc.gen.send(send_value)
         except StopIteration as stop:
             proc._finish(stop.value)
             return
-        self._dispatch(proc, request)
-
-    def _dispatch(self, proc: Process, request: Any) -> None:
-        if isinstance(request, Sleep):
+        # Dispatch, fast-pathing exact types before isinstance fallbacks.
+        cls = request.__class__
+        if cls is Sleep:
             proc.state = ProcessState.WAITING
-            timer = self.schedule(request.dt, lambda: self._step(proc, None))
-            proc._cleanup = timer.cancel
+            proc._cleanup = self._schedule_step(request.dt, proc, None)
+        elif cls is WaitEvent:
+            self._wait_event(proc, request.event, request.timeout)
+        elif cls is Event:
+            self._wait_event(proc, request, None)
+        elif isinstance(request, Sleep):
+            proc.state = ProcessState.WAITING
+            proc._cleanup = self._schedule_step(request.dt, proc, None)
         elif isinstance(request, WaitEvent):
             self._wait_event(proc, request.event, request.timeout)
         elif isinstance(request, Event):
@@ -174,32 +426,13 @@ class Simulator:
             )
 
     def _wait_event(self, proc: Process, event: Event, timeout: Optional[float]) -> None:
-        if event.fired:
-            # Resume on the heap (not inline) to keep ordering uniform.
-            proc.state = ProcessState.WAITING
-            timer = self.schedule(0.0, lambda: self._step(proc, (True, event.value)))
-            proc._cleanup = timer.cancel
-            return
-
         proc.state = ProcessState.WAITING
-        timer_box: List[Optional[Timer]] = [None]
-
-        def on_event(ev: Event) -> None:
-            if timer_box[0] is not None:
-                timer_box[0].cancel()
-            self._step(proc, (True, ev.value))
-
-        def on_timeout() -> None:
-            event.discard_callback(on_event)
-            self._step(proc, (False, None))
-
-        event.add_callback(on_event)
+        if event.fired:
+            # Resume via the run-queue (not inline) to keep ordering uniform.
+            proc._cleanup = self._schedule_step(0.0, proc, (True, event.value))
+            return
+        waiter = _EventWaiter(self, proc, event)
+        event.add_callback(waiter)
         if timeout is not None:
-            timer_box[0] = self.schedule(timeout, on_timeout)
-
-        def cleanup() -> None:
-            event.discard_callback(on_event)
-            if timer_box[0] is not None:
-                timer_box[0].cancel()
-
-        proc._cleanup = cleanup
+            waiter.timer = self.schedule(timeout, waiter._on_timeout)
+        proc._cleanup = waiter

@@ -10,7 +10,7 @@ other processes can join on it.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.sim.events import Event
 
@@ -40,8 +40,10 @@ class Process:
         self.state = ProcessState.NEW
         self.result: Any = None
         self.done_event = Event(name=f"{name}.done")
-        # Callable deregistering whatever the process currently waits on.
-        self._cleanup: Optional[Callable[[], None]] = None
+        # Whatever the process currently waits on: either the kernel's
+        # pending step entry (a plain list) or a waiter record exposing
+        # ``cancel()``.  ``None`` while running / terminated.
+        self._cleanup: Optional[Any] = None
 
     # ------------------------------------------------------------------
     @property
@@ -59,9 +61,13 @@ class Process:
         """
         if not self.alive:
             return
-        if self._cleanup is not None:
-            self._cleanup()
+        cleanup = self._cleanup
+        if cleanup is not None:
             self._cleanup = None
+            if type(cleanup) is list:
+                self.sim._cancel_entry(cleanup)
+            else:
+                cleanup.cancel()
         self.state = ProcessState.KILLED
         self.gen.close()
         self.done_event.succeed(None)

@@ -106,8 +106,9 @@ class FTConjugateGradient(FTProgram):
             return {"steps": 0, "residual": 0.0, "x": x.local}
 
         residual = rho ** 0.5
+        ap = vec(np.empty(engine.n_local))  # reused spMVM output buffer
         while step < self.n_steps and residual > self.tol * b_norm:
-            ap = vec((yield from engine.multiply(p.local, tag=step)))
+            yield from engine.multiply(p.local, out=ap.local, tag=step)
             p_ap = yield from p.dot(ap)
             if p_ap <= 0.0:
                 raise ValueError("operator not positive definite")
@@ -116,7 +117,7 @@ class FTConjugateGradient(FTProgram):
             r.axpy(-alpha, ap)
             rho_next = yield from r.dot(r)
             beta = rho_next / rho
-            p = vec(r.local + beta * p.local)
+            p.scale(beta).axpy(1.0, r)  # p = r + beta*p, in place
             rho = rho_next
             residual = rho ** 0.5
             step += 1

@@ -92,9 +92,11 @@ class FTPowerIteration(FTProgram):
             norm = yield from x.norm()
             x.scale(1.0 / norm)
 
+        # ping-pong pair: y receives the spMVM, then swaps roles with x
+        y = DistVector(ftx.team, np.empty(engine.n_local), ftx.guard,
+                       ftx.cfg.comm_timeout)
         while step < self.n_steps:
-            y_local = yield from engine.multiply(x.local, tag=step)
-            y = DistVector(ftx.team, y_local, ftx.guard, ftx.cfg.comm_timeout)
+            yield from engine.multiply(x.local, out=y.local, tag=step)
             rayleigh = yield from y.dot(x)
             norm = yield from y.norm()
             step += 1
@@ -102,7 +104,8 @@ class FTPowerIteration(FTProgram):
             if norm == 0.0:
                 estimate = 0.0
                 break
-            x = y.scale(1.0 / norm)
+            y.scale(1.0 / norm)
+            x, y = y, x
             converged = (
                 self.tol > 0.0
                 and abs(rayleigh - estimate) <= self.tol * max(1.0, abs(rayleigh))

@@ -147,6 +147,9 @@ class DistributedLanczos:
         else:
             self._normalized = True  # restored states are mid-iteration
         self.state = state
+        # spMVM output scratch; after each step the retired v_prev buffer is
+        # recycled into it, so steady-state iteration allocates nothing.
+        self._w: Optional[np.ndarray] = None
 
     def _vec(self, data: np.ndarray) -> DistVector:
         return DistVector(self.team, data, self.guard, self.comm_timeout)
@@ -166,7 +169,11 @@ class DistributedLanczos:
         j = st.step
         v_cur = self._vec(st.v_cur)
         v_prev = self._vec(st.v_prev)
-        w_local = yield from self.engine.multiply(st.v_cur, tag=j)
+        scratch = self._w
+        if scratch is None or scratch.shape != st.v_cur.shape:
+            scratch = np.empty_like(st.v_cur)
+        self._w = None
+        w_local = yield from self.engine.multiply(st.v_cur, out=scratch, tag=j)
         w = self._vec(w_local)
         a = yield from w.dot(v_cur)
         w.axpy(-a, v_cur)
@@ -177,8 +184,10 @@ class DistributedLanczos:
         if self.time_model is not None:
             yield Sleep(self.time_model.vector_ops_time(len(st.v_cur)))
         if b >= BREAKDOWN_TOL:
+            np.multiply(w.local, 1.0 / b, out=w.local)
+            self._w = st.v_prev  # retire the old v_prev into the scratch slot
             st.v_prev = st.v_cur
-            st.v_cur = w.local / b
+            st.v_cur = w.local
         return (float(a), float(b))
 
     def run(self, n_steps: int, eig_check_interval: int = 0,

@@ -13,7 +13,7 @@ instead of re-running this stage (Sect. V).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
@@ -36,6 +36,9 @@ class DistMatrix:
     logical_rank: int
     local: CSRMatrix          # columns remapped: [0,n_local)+halo
     plan: CommPlan
+    _partition: Optional[RowPartition] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def n_local(self) -> int:
@@ -46,7 +49,11 @@ class DistMatrix:
         return self.plan.halo_size
 
     def partition(self) -> RowPartition:
-        return RowPartition(self.n_global, self.n_workers)
+        """The (immutable) global row partition; built once and cached."""
+        part = self._partition
+        if part is None:
+            part = self._partition = RowPartition(self.n_global, self.n_workers)
+        return part
 
     # ------------------------------------------------------------------
     def to_payload(self) -> Dict[str, np.ndarray]:

@@ -159,7 +159,9 @@ class SpMVMEngine:
             if spec.count == 0:
                 continue
             offset = self._stage_offsets[requester]
-            self._stage[offset : offset + spec.count] = x_local[spec.local_idx]
+            # gather straight into the staging segment (no temp array)
+            np.take(x_local, spec.local_idx,
+                    out=self._stage[offset : offset + spec.count])
             while True:
                 ret = ctx.write_notify(
                     self.stage_segment, offset * _F8, spec.count * _F8,
@@ -189,13 +191,13 @@ class SpMVMEngine:
                     self.x_segment, provider, 1, self.comm_timeout
                 )
 
-        # local kernel
-        y = self.matrix.local.spmv(self._x_full if self._x_full.size else
-                                   np.zeros(0))
+        # local kernel, writing straight into the caller's buffer
+        if out is None:
+            out = np.empty(self.n_local)
+        self.matrix.local.spmv(
+            self._x_full if self._x_full.size else np.zeros(0), out=out
+        )
         if self.time_model is not None:
             yield Sleep(self.time_model.spmv_time(self.matrix.local.nnz,
                                                   self.n_local))
-        if out is not None:
-            out[:] = y
-            return out
-        return y
+        return out
