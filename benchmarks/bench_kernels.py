@@ -85,3 +85,25 @@ def test_checkpoint_unpack(benchmark):
     blob = pack_checkpoint(payload)
     out = benchmark(unpack_checkpoint, blob)
     assert np.array_equal(out["v"], payload["v"])
+
+
+def test_checkpoint_pack_into_reused_buffer(benchmark):
+    """The zero-copy staging path CheckpointLib uses per write."""
+    from repro.checkpoint import pack_checkpoint_into, packed_size
+
+    payload = {
+        "v_prev": np.random.default_rng(4).standard_normal(500_000),
+        "v_cur": np.random.default_rng(5).standard_normal(500_000),
+        "alpha": np.arange(3500.0),
+        "beta": np.arange(3500.0),
+    }
+    buf = bytearray(packed_size(payload))
+    written = benchmark(pack_checkpoint_into, payload, buf)
+    assert written == len(buf) > 8_000_000
+
+
+def test_checkpoint_unpack_zero_copy(benchmark):
+    payload = {"v": np.random.default_rng(6).standard_normal(1_000_000)}
+    blob = pack_checkpoint(payload)
+    out = benchmark(unpack_checkpoint, blob, copy=False)
+    assert np.array_equal(out["v"], payload["v"])

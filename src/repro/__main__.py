@@ -7,6 +7,10 @@ Subcommands map to the experiment harness modules:
 * ``ablations``— FD strategies, checkpoint interval/destination, commit
 * ``compare``  — non-shrinking (paper) vs shrinking (ULFM) recovery
 * ``bench``    — hot-path microbenchmarks, tracked in ``BENCH_core.json``
+
+Every experiment subcommand accepts ``--jobs N``: its scenarios are
+independent simulations and fan out across N worker processes (0 = all
+cores), with output byte-identical to the serial default.
 """
 
 from __future__ import annotations

@@ -16,6 +16,8 @@ adopts the failed process's logical identity) finds its predecessor's data.
 from repro.checkpoint.serialization import (
     CheckpointCorrupt,
     pack_checkpoint,
+    pack_checkpoint_into,
+    packed_size,
     unpack_checkpoint,
 )
 from repro.checkpoint.store import CheckpointNotFound, NodeLocalStore, StoredBlob
@@ -25,6 +27,8 @@ from repro.checkpoint.manager import CheckpointConfig, CheckpointLib
 
 __all__ = [
     "pack_checkpoint",
+    "pack_checkpoint_into",
+    "packed_size",
     "unpack_checkpoint",
     "CheckpointCorrupt",
     "CheckpointNotFound",

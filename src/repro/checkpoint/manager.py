@@ -27,7 +27,11 @@ from repro.sim import Channel, Event, Sleep
 from repro.gaspi.context import GaspiContext
 from repro.checkpoint.neighbor import neighbor_of
 from repro.checkpoint.pfs import ParallelFileSystem
-from repro.checkpoint.serialization import pack_checkpoint, unpack_checkpoint
+from repro.checkpoint.serialization import (
+    pack_checkpoint_into,
+    packed_size,
+    unpack_checkpoint,
+)
 from repro.checkpoint.store import CheckpointNotFound, NodeLocalStore, StoredBlob
 
 _SHUTDOWN = object()
@@ -69,6 +73,10 @@ class CheckpointLib:
         self._helper = ctx.world.launch(
             ctx.rank, self._helper_loop(), name=f"ckpt-helper-{ctx.rank}"
         )
+        #: reusable per-rank staging buffer for the zero-copy pack path;
+        #: grown geometrically, never shrunk — after warm-up a checkpoint
+        #: allocates nothing but the immutable stored snapshot
+        self._staging = bytearray()
         self.stats = {"local_writes": 0, "neighbor_copies": 0, "pfs_copies": 0,
                       "local_reads": 0, "remote_reads": 0, "pfs_reads": 0}
 
@@ -104,6 +112,20 @@ class CheckpointLib:
     # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
+    def _pack_to_staging(self, payload: Dict[str, np.ndarray]) -> bytes:
+        """Pack through the reused staging buffer; return the stored copy.
+
+        The zero-copy pack writes straight into ``_staging`` (one byte
+        move + streaming CRC); the single ``bytes()`` at the end is the
+        immutable snapshot the node store keeps — it must not alias the
+        staging buffer, which the next checkpoint overwrites.
+        """
+        size = packed_size(payload)
+        if len(self._staging) < size:
+            self._staging = bytearray(max(size, 2 * len(self._staging)))
+        pack_checkpoint_into(payload, self._staging)
+        return bytes(memoryview(self._staging)[:size])
+
     def write_checkpoint(self, version: int, payload: Dict[str, np.ndarray],
                          nominal_bytes: Optional[int] = None):
         """Generator: synchronous local checkpoint + async neighbor signal.
@@ -112,7 +134,7 @@ class CheckpointLib:
         (and PFS, if due) copy finished — the application does *not* have
         to wait on it.
         """
-        data = pack_checkpoint(payload)
+        data = self._pack_to_staging(payload)
         blob = StoredBlob(data=data, nominal_bytes=nominal_bytes or len(data))
         yield Sleep(blob.nominal_bytes / self.config.local_bandwidth)
         key = (self.config.tag, self.logical_rank, version)

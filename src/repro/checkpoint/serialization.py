@@ -5,18 +5,39 @@ The container stores, per entry: name, dtype, shape and raw bytes; the
 whole container carries a magic, a format version and a CRC32 so that a
 torn or corrupted blob is *detected* rather than silently restored — the
 property the consistent-version protocol depends on.
+
+The data plane is zero-copy:
+
+* :func:`packed_size` sizes a payload without touching array data, so a
+  caller can pre-allocate (or reuse) a staging buffer or segment slice.
+* :func:`pack_checkpoint_into` writes headers and array bytes directly
+  into that caller-provided buffer with a streaming CRC32 — array data is
+  moved exactly once (``np.copyto`` into the destination), with a single
+  ``np.ascontiguousarray`` normalisation as the only extra copy and only
+  for non-contiguous inputs.
+* :func:`unpack_checkpoint` parses through memoryviews; with
+  ``copy=False`` the returned arrays are read-only views into the blob
+  (no byte is copied), with the default ``copy=True`` each array is
+  copied exactly once into a writable array.
+
+:func:`pack_checkpoint` remains as the allocating convenience wrapper and
+produces bit-identical containers.
 """
 
 from __future__ import annotations
 
 import struct
 import zlib
-from typing import Dict, Mapping, Union
+from typing import Dict, List, Mapping, Tuple, Union
 
 import numpy as np
 
 _MAGIC = b"GCKP"
 _VERSION = 1
+#: magic(4) + version(2) + entry count(4) + crc(4)
+_HEADER_SIZE = 14
+#: offset of the CRC32 slot inside the header
+_CRC_OFFSET = 10
 
 Payload = Mapping[str, Union[np.ndarray, int, float]]
 
@@ -25,62 +46,153 @@ class CheckpointCorrupt(Exception):
     """The blob failed structural or CRC validation."""
 
 
-def pack_checkpoint(payload: Payload) -> bytes:
-    """Serialize a payload mapping into a checksummed container."""
-    parts = []
+def _entry_metas(payload: Payload) -> List[Tuple[bytes, bytes, Tuple[int, ...], int]]:
+    """Per entry ``(name_b, dtype_b, shape, nbytes)`` — no data copies."""
+    metas = []
     for name, value in payload.items():
         arr = np.asarray(value)
-        name_b = name.encode("utf-8")
-        dtype_b = arr.dtype.str.encode("ascii")
-        shape = arr.shape
-        data = np.ascontiguousarray(arr).tobytes()
-        parts.append(struct.pack("<HH", len(name_b), len(dtype_b)))
-        parts.append(name_b)
-        parts.append(dtype_b)
-        parts.append(struct.pack("<B", len(shape)))
-        parts.append(struct.pack(f"<{len(shape)}q", *shape))
-        parts.append(struct.pack("<q", len(data)))
-        parts.append(data)
-    body = b"".join(parts)
-    header = _MAGIC + struct.pack("<HI", _VERSION, len(payload))
-    crc = zlib.crc32(header + body) & 0xFFFFFFFF
-    return header + struct.pack("<I", crc) + body
+        metas.append((
+            name.encode("utf-8"),
+            arr.dtype.str.encode("ascii"),
+            arr.shape,
+            arr.nbytes,
+        ))
+    return metas
 
 
-def unpack_checkpoint(blob: bytes) -> Dict[str, np.ndarray]:
-    """Parse a container back into ``{name: array}`` (CRC-validated)."""
-    if len(blob) < 14 or blob[:4] != _MAGIC:
+def _entry_header(name_b: bytes, dtype_b: bytes, shape: Tuple[int, ...],
+                  nbytes: int) -> bytes:
+    ndim = len(shape)
+    return b"".join((
+        struct.pack("<HH", len(name_b), len(dtype_b)),
+        name_b,
+        dtype_b,
+        struct.pack("<B", ndim),
+        struct.pack(f"<{ndim}q", *shape),
+        struct.pack("<q", nbytes),
+    ))
+
+
+def packed_size(payload: Payload) -> int:
+    """Container size in bytes for ``payload`` (no array data is touched)."""
+    total = _HEADER_SIZE
+    for name_b, dtype_b, shape, nbytes in _entry_metas(payload):
+        total += 4 + len(name_b) + len(dtype_b) + 1 + 8 * len(shape) + 8
+        total += nbytes
+    return total
+
+
+def _writable_u8(buf) -> memoryview:
+    """A flat writable byte view of any buffer-protocol object."""
+    mv = memoryview(buf)
+    if mv.readonly:
+        raise ValueError("pack_checkpoint_into needs a writable buffer")
+    if mv.ndim != 1 or mv.format not in ("B", "b", "c"):
+        mv = mv.cast("B")
+    return mv
+
+
+def pack_checkpoint_into(payload: Payload, buf, offset: int = 0) -> int:
+    """Serialize ``payload`` directly into ``buf`` at ``offset``.
+
+    ``buf`` is any writable buffer-protocol object (a ``bytearray``, a
+    ``memoryview``, a segment slice, a numpy ``uint8`` array).  Array
+    bytes move exactly once and the CRC32 is computed streaming over the
+    destination, so no intermediate ``bytes`` object is ever built.
+    Returns the number of bytes written (== :func:`packed_size`).
+    """
+    mv = _writable_u8(buf)
+    total = packed_size(payload)
+    if offset < 0 or offset + total > mv.nbytes:
+        raise ValueError(
+            f"buffer too small: need [{offset}, {offset + total}) "
+            f"in a buffer of {mv.nbytes} bytes"
+        )
+    out = mv[offset : offset + total]
+
+    out[:4] = _MAGIC
+    struct.pack_into("<HI", out, 4, _VERSION, len(payload))
+    crc = zlib.crc32(out[:_CRC_OFFSET])
+
+    pos = _HEADER_SIZE
+    for name, value in payload.items():
+        arr = np.asarray(value)
+        if not arr.flags.c_contiguous:
+            # the single normalisation copy (read-only inputs stay as-is:
+            # they are only ever read from)
+            arr = np.ascontiguousarray(arr)
+        header = _entry_header(
+            name.encode("utf-8"), arr.dtype.str.encode("ascii"),
+            arr.shape, arr.nbytes,
+        )
+        out[pos : pos + len(header)] = header
+        crc = zlib.crc32(out[pos : pos + len(header)], crc)
+        pos += len(header)
+        if arr.nbytes:
+            dest = np.frombuffer(out, dtype=np.uint8, count=arr.nbytes,
+                                 offset=pos)
+            np.copyto(dest, np.frombuffer(arr.data, dtype=np.uint8))
+            crc = zlib.crc32(out[pos : pos + arr.nbytes], crc)
+            pos += arr.nbytes
+    struct.pack_into("<I", out, _CRC_OFFSET, crc & 0xFFFFFFFF)
+    return total
+
+
+def pack_checkpoint(payload: Payload) -> bytes:
+    """Serialize a payload mapping into a checksummed container."""
+    buf = bytearray(packed_size(payload))
+    pack_checkpoint_into(payload, buf)
+    return bytes(buf)
+
+
+def unpack_checkpoint(blob, copy: bool = True) -> Dict[str, np.ndarray]:
+    """Parse a container back into ``{name: array}`` (CRC-validated).
+
+    ``blob`` is any buffer-protocol object.  With the default
+    ``copy=True`` every array is an independent writable copy (one copy
+    per array, no intermediate ``bytes``).  With ``copy=False`` the
+    arrays are *read-only memoryview-backed views into the blob* — zero
+    bytes are copied, but the arrays alias the blob's storage and must
+    not outlive it.
+    """
+    mv = memoryview(blob)
+    if mv.ndim != 1 or mv.format not in ("B", "b", "c"):
+        mv = mv.cast("B")
+    size = mv.nbytes
+    if size < _HEADER_SIZE or bytes(mv[:4]) != _MAGIC:
         raise CheckpointCorrupt("bad magic / truncated header")
-    version, n_entries = struct.unpack_from("<HI", blob, 4)
+    version, n_entries = struct.unpack_from("<HI", mv, 4)
     if version != _VERSION:
         raise CheckpointCorrupt(f"unsupported container version {version}")
-    (crc_stored,) = struct.unpack_from("<I", blob, 10)
-    body = blob[14:]
-    crc_actual = zlib.crc32(blob[:10] + body) & 0xFFFFFFFF
-    if crc_actual != crc_stored:
+    (crc_stored,) = struct.unpack_from("<I", mv, _CRC_OFFSET)
+    crc = zlib.crc32(mv[:_CRC_OFFSET])
+    crc = zlib.crc32(mv[_HEADER_SIZE:], crc) & 0xFFFFFFFF
+    if crc != crc_stored:
         raise CheckpointCorrupt("CRC mismatch")
 
     out: Dict[str, np.ndarray] = {}
-    off = 0
+    off = _HEADER_SIZE
     for _ in range(n_entries):
         try:
-            name_len, dtype_len = struct.unpack_from("<HH", body, off)
+            name_len, dtype_len = struct.unpack_from("<HH", mv, off)
             off += 4
-            name = body[off : off + name_len].decode("utf-8")
+            if off + name_len + dtype_len > size:
+                raise CheckpointCorrupt("truncated entry header")
+            name = bytes(mv[off : off + name_len]).decode("utf-8")
             off += name_len
-            dtype = np.dtype(body[off : off + dtype_len].decode("ascii"))
+            dtype = np.dtype(bytes(mv[off : off + dtype_len]).decode("ascii"))
             off += dtype_len
-            (ndim,) = struct.unpack_from("<B", body, off)
+            (ndim,) = struct.unpack_from("<B", mv, off)
             off += 1
-            shape = struct.unpack_from(f"<{ndim}q", body, off)
+            shape = struct.unpack_from(f"<{ndim}q", mv, off)
             off += 8 * ndim
-            (nbytes,) = struct.unpack_from("<q", body, off)
+            (nbytes,) = struct.unpack_from("<q", mv, off)
             off += 8
-            data = body[off : off + nbytes]
-            if len(data) != nbytes:
-                raise CheckpointCorrupt("truncated entry data")
-            off += nbytes
         except struct.error as exc:
             raise CheckpointCorrupt(f"truncated entry header: {exc}") from exc
-        out[name] = np.frombuffer(data, dtype=dtype).reshape(shape).copy()
+        if nbytes < 0 or off + nbytes > size:
+            raise CheckpointCorrupt("truncated entry data")
+        arr = np.frombuffer(mv[off : off + nbytes], dtype=dtype).reshape(shape)
+        off += nbytes
+        out[name] = arr.copy() if copy else arr
     return out

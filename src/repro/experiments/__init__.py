@@ -7,6 +7,10 @@
 * :mod:`repro.experiments.ablations` — the paper's qualitative claims
   quantified: FD strategy comparison (Sect. IV-A b), checkpoint interval
   and destination trade-offs (Sect. IV-E), group-commit scaling.
+* :mod:`repro.experiments.sweep` — the parallel scenario-sweep engine:
+  every scenario above is an independent simulation, so the drivers fan
+  them across a process pool (``--jobs N``) with output byte-identical
+  to the serial run.
 
 Each module exposes a ``run_*`` function returning structured rows and a
 ``main()`` that prints the paper-style table; run them as
@@ -14,8 +18,18 @@ Each module exposes a ``run_*`` function returning structured rows and a
 """
 
 from repro.experiments.common import ScenarioOutcome, run_ft_scenario
+from repro.experiments.sweep import (
+    SweepTask,
+    resolve_jobs,
+    run_sweep,
+    scenario_seed,
+)
 
 __all__ = [
     "ScenarioOutcome",
     "run_ft_scenario",
+    "SweepTask",
+    "resolve_jobs",
+    "run_sweep",
+    "scenario_seed",
 ]

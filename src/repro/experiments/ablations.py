@@ -10,7 +10,9 @@
 * ``run_group_commit_scaling`` — the blocking ``gaspi_group_commit`` cost
   (OHF2) versus group size.
 
-Run: ``python -m repro.experiments.ablations [--which all]``
+Run: ``python -m repro.experiments.ablations [--which all] [--jobs N]`` —
+every grid point is an independent simulation; ``--jobs`` fans them
+across a process pool with output identical to the serial run.
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from repro.ft.strategies import (
 )
 from repro.experiments.common import run_ft_scenario
 from repro.experiments.report import format_table
+from repro.experiments.sweep import SweepTask, run_sweep
 from repro.workloads.spec import WorkloadSpec, scaled_spec
 
 
@@ -107,18 +110,27 @@ def _strategy_run(strategy_name: str, n_ranks: int, n_iters: int,
 
 def run_fd_strategy_comparison(n_ranks: int = 32, n_iters: int = 60,
                                iteration_time: float = 0.414,
-                               check_period: float = 3.0) -> List[StrategyOutcome]:
+                               check_period: float = 3.0,
+                               jobs: Optional[int] = 1) -> List[StrategyOutcome]:
     """Failure-free overhead + detection latency per strategy."""
-    outcomes = []
-    baseline = None
+    kill_t = n_iters * iteration_time * 0.4
+    tasks = []
     for name in _STRATEGIES:
-        free = _strategy_run(name, n_ranks, n_iters, iteration_time,
-                             check_period)
-        if baseline is None:
-            baseline = free.runtime  # dedicated-fd ~ pure compute
-        kill_t = n_iters * iteration_time * 0.4
-        faulty = _strategy_run(name, n_ranks, n_iters, iteration_time,
-                               check_period, kill=(kill_t, n_ranks // 2))
+        tasks.append(SweepTask(
+            "ablations/fd", f"{name}/free", _strategy_run,
+            (name, n_ranks, n_iters, iteration_time, check_period),
+        ))
+        tasks.append(SweepTask(
+            "ablations/fd", f"{name}/faulty", _strategy_run,
+            (name, n_ranks, n_iters, iteration_time, check_period),
+            {"kill": (kill_t, n_ranks // 2)},
+        ))
+    results = run_sweep(tasks, jobs=jobs)
+
+    outcomes = []
+    baseline = results[0].runtime  # dedicated-fd ~ pure compute
+    for idx, name in enumerate(_STRATEGIES):
+        free, faulty = results[2 * idx], results[2 * idx + 1]
         outcomes.append(StrategyOutcome(
             strategy=name,
             runtime=free.runtime,
@@ -140,29 +152,36 @@ class IntervalOutcome:
     checkpoints_taken: int
 
 
+def _interval_outcome(spec: WorkloadSpec, interval: int) -> IntervalOutcome:
+    """Sweep worker: one failure at one checkpoint interval."""
+    s = dataclasses.replace(spec, checkpoint_interval=interval)
+    kill_t = s.setup_time + s.time_of_iteration(
+        min(interval + interval // 2, s.n_iterations // 2)
+    )
+    outcome = run_ft_scenario(
+        f"interval={interval}", s, kill_times=[(kill_t, 1)], n_spares=2,
+    )
+    return IntervalOutcome(
+        interval=interval,
+        runtime=outcome.total_runtime,
+        redo_work=outcome.redo_work_time,
+        checkpoints_taken=int(s.n_iterations / interval),
+    )
+
+
 def run_checkpoint_interval_sweep(
     spec: Optional[WorkloadSpec] = None,
     intervals: Sequence[int] = (25, 50, 100, 200, 350),
+    jobs: Optional[int] = 1,
 ) -> List[IntervalOutcome]:
     """One failure; vary the checkpoint interval (redo-work trade-off)."""
     spec = spec or scaled_spec(workers=16, iterations=400, name="cp-sweep")
-    out: List[IntervalOutcome] = []
-    for interval in intervals:
-        s = dataclasses.replace(spec, checkpoint_interval=interval)
-        kill_t = s.setup_time + s.time_of_iteration(
-            min(interval + interval // 2, s.n_iterations // 2)
-        )
-        outcome = run_ft_scenario(
-            f"interval={interval}", s, kill_times=[(kill_t, 1)], n_spares=2,
-        )
-        ckpts = int(s.n_iterations / interval)
-        out.append(IntervalOutcome(
-            interval=interval,
-            runtime=outcome.total_runtime,
-            redo_work=outcome.redo_work_time,
-            checkpoints_taken=ckpts,
-        ))
-    return out
+    tasks = [
+        SweepTask("ablations/interval", f"interval={interval}",
+                  _interval_outcome, (spec, interval))
+        for interval in intervals
+    ]
+    return run_sweep(tasks, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -175,9 +194,52 @@ class DestinationOutcome:
     overhead_pct: float
 
 
+def _destination_outcome(dest: str, n_ranks: int, n_checkpoints: int,
+                         bytes_per_rank: int,
+                         pfs_bandwidth: float) -> DestinationOutcome:
+    """Sweep worker: application-blocked time of one destination."""
+    compute_per_phase = 10.0
+    sim = Simulator()
+    pfs = ParallelFileSystem(sim, aggregate_bandwidth=pfs_bandwidth)
+
+    def main(ctx):
+        lib = CheckpointLib(
+            ctx, ctx.rank, list(range(n_ranks)),
+            config=CheckpointConfig(tag="abl"), pfs=pfs,
+        )
+        blocked = 0.0
+        for version in range(n_checkpoints):
+            yield Sleep(compute_per_phase)
+            t0 = ctx.now
+            if dest == "neighbor-level":
+                yield from lib.write_checkpoint(
+                    version, {"v": np.zeros(2)},
+                    nominal_bytes=bytes_per_rank,
+                )
+            else:
+                from repro.checkpoint.store import StoredBlob
+                from repro.checkpoint.serialization import pack_checkpoint
+                blob = StoredBlob(pack_checkpoint({"v": np.zeros(2)}),
+                                  bytes_per_rank)
+                yield from pfs.write(("abl", ctx.rank, version), blob)
+            blocked += ctx.now - t0
+        lib.shutdown()
+        return blocked
+
+    run = run_gaspi(main, machine_spec=MachineSpec(n_nodes=n_ranks), sim=sim)
+    blocked = max(run.result(r) for r in range(n_ranks))
+    compute_total = n_checkpoints * compute_per_phase
+    return DestinationOutcome(
+        destination=dest,
+        checkpoint_time_total=blocked,
+        overhead_pct=100.0 * blocked / compute_total,
+    )
+
+
 def run_checkpoint_destination(n_ranks: int = 64, n_checkpoints: int = 7,
                                bytes_per_rank: int = 7_500_000,
-                               pfs_bandwidth: float = 2.0e9) -> List[DestinationOutcome]:
+                               pfs_bandwidth: float = 2.0e9,
+                               jobs: Optional[int] = 1) -> List[DestinationOutcome]:
     """Synchronous-wait cost of neighbor-level vs PFS-level checkpoints.
 
     Measures the time the *application* is blocked per strategy: the
@@ -185,69 +247,41 @@ def run_checkpoint_destination(n_ranks: int = 64, n_checkpoints: int = 7,
     asynchronous), PFS-level checkpointing blocks until the contended
     global file system accepted the data.
     """
-    results: List[DestinationOutcome] = []
-    compute_per_phase = 10.0
-
-    for dest in ("neighbor-level", "pfs-level"):
-        sim = Simulator()
-        pfs = ParallelFileSystem(sim, aggregate_bandwidth=pfs_bandwidth)
-
-        def main(ctx, dest=dest, pfs=pfs):
-            lib = CheckpointLib(
-                ctx, ctx.rank, list(range(n_ranks)),
-                config=CheckpointConfig(tag="abl"), pfs=pfs,
-            )
-            blocked = 0.0
-            for version in range(n_checkpoints):
-                yield Sleep(compute_per_phase)
-                t0 = ctx.now
-                if dest == "neighbor-level":
-                    yield from lib.write_checkpoint(
-                        version, {"v": np.zeros(2)},
-                        nominal_bytes=bytes_per_rank,
-                    )
-                else:
-                    from repro.checkpoint.store import StoredBlob
-                    from repro.checkpoint.serialization import pack_checkpoint
-                    blob = StoredBlob(pack_checkpoint({"v": np.zeros(2)}),
-                                      bytes_per_rank)
-                    yield from pfs.write(("abl", ctx.rank, version), blob)
-                blocked += ctx.now - t0
-            lib.shutdown()
-            return blocked
-
-        run = run_gaspi(main, machine_spec=MachineSpec(n_nodes=n_ranks),
-                        sim=sim)
-        blocked = max(run.result(r) for r in range(n_ranks))
-        compute_total = n_checkpoints * compute_per_phase
-        results.append(DestinationOutcome(
-            destination=dest,
-            checkpoint_time_total=blocked,
-            overhead_pct=100.0 * blocked / compute_total,
-        ))
-    return results
+    tasks = [
+        SweepTask("ablations/destination", dest, _destination_outcome,
+                  (dest, n_ranks, n_checkpoints, bytes_per_rank,
+                   pfs_bandwidth))
+        for dest in ("neighbor-level", "pfs-level")
+    ]
+    return run_sweep(tasks, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
 # group commit scaling (OHF2)
 # ----------------------------------------------------------------------
-def run_group_commit_scaling(sizes: Sequence[int] = (8, 16, 32, 64, 128, 256)
-                             ) -> List[tuple]:
-    """Measured blocking time of gaspi_group_commit vs group size."""
-    rows = []
-    for size in sizes:
-        def main(ctx, size=size):
-            group = ctx.group_create(tag=1)
-            for rank in range(size):
-                ctx.group_add(group, rank)
-            t0 = ctx.now
-            ret = yield from ctx.group_commit(group)
-            assert ret is ReturnCode.SUCCESS
-            return ctx.now - t0
+def _commit_time(size: int) -> tuple:
+    """Sweep worker: one blocking group commit at one group size."""
+    def main(ctx):
+        group = ctx.group_create(tag=1)
+        for rank in range(size):
+            ctx.group_add(group, rank)
+        t0 = ctx.now
+        ret = yield from ctx.group_commit(group)
+        assert ret is ReturnCode.SUCCESS
+        return ctx.now - t0
 
-        run = run_gaspi(main, machine_spec=MachineSpec(n_nodes=size))
-        rows.append((size, run.result(0)))
-    return rows
+    run = run_gaspi(main, machine_spec=MachineSpec(n_nodes=size))
+    return (size, run.result(0))
+
+
+def run_group_commit_scaling(sizes: Sequence[int] = (8, 16, 32, 64, 128, 256),
+                             jobs: Optional[int] = 1) -> List[tuple]:
+    """Measured blocking time of gaspi_group_commit vs group size."""
+    tasks = [
+        SweepTask("ablations/commit", f"size={size}", _commit_time, (size,))
+        for size in sizes
+    ]
+    return run_sweep(tasks, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -257,10 +291,13 @@ def main(argv=None) -> str:
                         choices=["all", "fd", "interval", "destination",
                                  "commit"],
                         default="all")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="scenario-sweep worker processes "
+                             "(0 = all cores, default 1 = serial)")
     args = parser.parse_args(argv)
     chunks: List[str] = []
     if args.which in ("all", "fd"):
-        rows = run_fd_strategy_comparison()
+        rows = run_fd_strategy_comparison(jobs=args.jobs)
         chunks.append(format_table(
             ["strategy", "runtime[s]", "overhead[%]", "pings",
              "detection latency[s]"],
@@ -269,21 +306,21 @@ def main(argv=None) -> str:
              for o in rows],
             title="FD strategy comparison (Sect. IV-A b)"))
     if args.which in ("all", "interval"):
-        rows = run_checkpoint_interval_sweep()
+        rows = run_checkpoint_interval_sweep(jobs=args.jobs)
         chunks.append(format_table(
             ["CP interval", "runtime[s]", "redo-work[s]", "checkpoints"],
             [[o.interval, o.runtime, o.redo_work, o.checkpoints_taken]
              for o in rows],
             title="Checkpoint interval sweep (one failure)"))
     if args.which in ("all", "destination"):
-        rows = run_checkpoint_destination()
+        rows = run_checkpoint_destination(jobs=args.jobs)
         chunks.append(format_table(
             ["destination", "blocked time[s]", "overhead[%]"],
             [[o.destination, o.checkpoint_time_total, o.overhead_pct]
              for o in rows],
             title="Checkpoint destination (neighbor vs PFS)"))
     if args.which in ("all", "commit"):
-        rows = run_group_commit_scaling()
+        rows = run_group_commit_scaling(jobs=args.jobs)
         chunks.append(format_table(
             ["group size", "commit time[s]"], rows,
             title="gaspi_group_commit scaling (OHF2)"))

@@ -10,7 +10,10 @@ Kills are placed ~114 iterations past a checkpoint (the paper kills at a
 fixed iteration "to have a deterministic redo-work time"), so one recovery
 costs ≈ redo(114 iters) + detection + re-init.
 
-Run: ``python -m repro.experiments.figure4 [--scale paper|small|tiny]``
+Run: ``python -m repro.experiments.figure4 [--scale paper|small|tiny]
+[--jobs N]`` — the seven scenarios are independent simulations and fan
+out across a process pool with ``--jobs``; the output is byte-identical
+to the serial run.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from repro.cluster import MachineSpec
 from repro.checkpoint.manager import CheckpointConfig, CheckpointLib
 from repro.experiments.common import ScenarioOutcome, run_ft_scenario
 from repro.experiments.report import format_table
+from repro.experiments.sweep import SweepTask, run_sweep
 from repro.workloads.spec import PAPER_GRAPHENE, WorkloadSpec, scaled_spec
 
 #: fraction of a checkpoint interval the kill lands after a checkpoint
@@ -118,36 +122,59 @@ def kill_schedule(spec: WorkloadSpec, n_kills: int,
 # ----------------------------------------------------------------------
 # the figure
 # ----------------------------------------------------------------------
-def run_figure4(spec: Optional[WorkloadSpec] = None,
-                keep_results: bool = False) -> List[ScenarioOutcome]:
-    spec = spec or default_spec("small")
-    outcomes: List[ScenarioOutcome] = []
+def _bare_outcome(name: str, spec: WorkloadSpec,
+                  checkpoints: bool) -> ScenarioOutcome:
+    """Sweep worker for the two non-FT bars."""
+    total = run_bare(spec, checkpoints)
+    return ScenarioOutcome(
+        name=name, spec=spec, total_runtime=total,
+        computation_time=total, redo_work_time=0.0, reinit_time=0.0,
+        detection_time=0.0, n_recoveries=0,
+    )
 
-    for name, checkpoints in (("w/o HC, w/o CP", False), ("w/o HC, with CP", True)):
-        total = run_bare(spec, checkpoints)
-        outcomes.append(ScenarioOutcome(
-            name=name, spec=spec, total_runtime=total,
-            computation_time=total, redo_work_time=0.0, reinit_time=0.0,
-            detection_time=0.0, n_recoveries=0,
-        ))
 
-    outcomes.append(run_ft_scenario("with HC, with CP", spec))
-
-    for k in (1, 2, 3):
-        outcomes.append(run_ft_scenario(
-            f"{k} fail recovery", spec, kill_times=kill_schedule(spec, k),
-        ))
-
-    outcomes.append(run_ft_scenario(
-        "3 sim. fail recovery", spec,
-        kill_times=kill_schedule(spec, 3, simultaneous=True),
-        fd_threads=8,
-    ))
-
+def _ft_outcome(name: str, spec: WorkloadSpec, keep_results: bool = False,
+                **scenario_kwargs) -> ScenarioOutcome:
+    """Sweep worker for the FT bars; strips the heavyweight run result
+    before it would travel back through the pool's pickle channel."""
+    outcome = run_ft_scenario(name, spec, **scenario_kwargs)
     if not keep_results:
-        for outcome in outcomes:
-            outcome.result = None
-    return outcomes
+        outcome.result = None
+    return outcome
+
+
+def scenario_tasks(spec: WorkloadSpec,
+                   keep_results: bool = False) -> List[SweepTask]:
+    """The seven Figure-4 scenarios as independent sweep tasks."""
+    tasks = [
+        SweepTask("figure4", name, _bare_outcome, (name, spec, checkpoints))
+        for name, checkpoints in (("w/o HC, w/o CP", False),
+                                  ("w/o HC, with CP", True))
+    ]
+    tasks.append(SweepTask(
+        "figure4", "with HC, with CP", _ft_outcome,
+        ("with HC, with CP", spec, keep_results),
+    ))
+    for k in (1, 2, 3):
+        tasks.append(SweepTask(
+            "figure4", f"{k} fail recovery", _ft_outcome,
+            (f"{k} fail recovery", spec, keep_results),
+            {"kill_times": kill_schedule(spec, k)}, k=k,
+        ))
+    tasks.append(SweepTask(
+        "figure4", "3 sim. fail recovery", _ft_outcome,
+        ("3 sim. fail recovery", spec, keep_results),
+        {"kill_times": kill_schedule(spec, 3, simultaneous=True),
+         "fd_threads": 8},
+    ))
+    return tasks
+
+
+def run_figure4(spec: Optional[WorkloadSpec] = None,
+                keep_results: bool = False,
+                jobs: Optional[int] = 1) -> List[ScenarioOutcome]:
+    spec = spec or default_spec("small")
+    return run_sweep(scenario_tasks(spec, keep_results), jobs=jobs)
 
 
 def as_rows(outcomes: List[ScenarioOutcome]) -> List[List]:
@@ -168,9 +195,12 @@ def main(argv=None) -> str:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=["paper", "small", "tiny"],
                         default="small")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="scenario-sweep worker processes "
+                             "(0 = all cores, default 1 = serial)")
     args = parser.parse_args(argv)
     spec = default_spec(args.scale)
-    outcomes = run_figure4(spec)
+    outcomes = run_figure4(spec, jobs=args.jobs)
     table = format_table(
         HEADERS, as_rows(outcomes),
         title=(f"Figure 4 — Lanczos runtime scenarios "

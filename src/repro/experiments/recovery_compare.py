@@ -13,14 +13,16 @@ cost of the two philosophies after one process failure:
   smaller, so on top of the reconstruction every rank must *redistribute*
   its domain (the paper's motivation for non-shrinking recovery).
 
-Run: ``python -m repro.experiments.recovery_compare [--sizes 8 16 ...]``
+Run: ``python -m repro.experiments.recovery_compare [--sizes 8 16 ...]
+[--jobs N]`` — the per-size GASPI and ULFM measurements are independent
+simulations; ``--jobs`` fans them across a process pool.
 """
 
 from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +32,7 @@ from repro.gaspi import AllreduceOp, run_gaspi
 from repro.ulfm import UlfmComm, UlfmResult
 from repro.experiments.common import run_ft_scenario
 from repro.experiments.report import format_table
+from repro.experiments.sweep import SweepTask, run_sweep
 from repro.workloads.spec import scaled_spec
 
 
@@ -101,12 +104,17 @@ def measure_ulfm(n_ranks: int, error_timeout: float = 3.5) -> tuple:
     return t_detect - kill_t, t_ready - t_detect
 
 
-def run_comparison(sizes: Sequence[int] = (8, 16, 32, 64, 128, 256)
-                   ) -> List[CompareRow]:
-    rows = []
+def run_comparison(sizes: Sequence[int] = (8, 16, 32, 64, 128, 256),
+                   jobs: Optional[int] = 1) -> List[CompareRow]:
+    tasks = []
     for n in sizes:
-        g_det, g_rec = measure_gaspi(n)
-        u_det, u_rec = measure_ulfm(n)
+        tasks.append(SweepTask("compare", f"gaspi-{n}", measure_gaspi, (n,)))
+        tasks.append(SweepTask("compare", f"ulfm-{n}", measure_ulfm, (n,)))
+    results = run_sweep(tasks, jobs=jobs)
+
+    rows = []
+    for idx, n in enumerate(sizes):
+        (g_det, g_rec), (u_det, u_rec) = results[2 * idx], results[2 * idx + 1]
         rows.append(CompareRow(
             n_ranks=n,
             gaspi_detection=g_det, gaspi_reconstruction=g_rec,
@@ -129,8 +137,11 @@ def main(argv=None) -> str:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sizes", type=int, nargs="+",
                         default=[8, 16, 32, 64, 128, 256])
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="scenario-sweep worker processes "
+                             "(0 = all cores, default 1 = serial)")
     args = parser.parse_args(argv)
-    rows = run_comparison(args.sizes)
+    rows = run_comparison(args.sizes, jobs=args.jobs)
     table = format_table(
         HEADERS, as_rows(rows),
         title="Recovery comparison: non-shrinking (GASPI+FD) vs shrinking (ULFM)")

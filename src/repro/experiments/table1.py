@@ -6,7 +6,11 @@ time in a failure-free run — expected ≈ setup + 1 ms x (p-1), i.e. linear
 completed failure acknowledgment, over 10 seeded repetitions — expected
 flat around scan_period/2 + transport error timeout (~5.3 s ± 0.9).
 
-Run: ``python -m repro.experiments.table1 [--nodes 8 16 ...] [--runs 10]``
+Run: ``python -m repro.experiments.table1 [--nodes 8 16 ...] [--runs 10]
+[--jobs N]`` — every scan / detection sample is an independent
+simulation; ``--jobs`` fans them across a process pool.  Each sample's
+seed derives from its ``(experiment, scenario, repetition)`` identity,
+so serial and parallel sweeps produce byte-identical rows.
 """
 
 from __future__ import annotations
@@ -14,13 +18,14 @@ from __future__ import annotations
 import argparse
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.sim import RngStreams
 from repro.cluster import FaultPlan
 from repro.ft.app import run_ft_application
 from repro.experiments.common import ft_config_for, machine_for
 from repro.experiments.report import format_table
+from repro.experiments.sweep import SweepTask, run_sweep, scenario_seed
 from repro.workloads.kernels import ModelLanczosProgram
 from repro.workloads.spec import scaled_spec
 
@@ -79,16 +84,40 @@ def measure_detection(n_nodes: int, seed: int, n_spares: int = 2) -> float:
     return stats.detections[0].t_acknowledged - t_kill
 
 
+def detection_seed(n_nodes: int, repetition: int, base_seed: int = 0) -> int:
+    """The identity-derived seed of one detection sample.
+
+    Derived solely from ``(table1/base_seed, nodes, repetition)`` — never
+    from execution order — so a sample's kill instant and victim are the
+    same whether the sweep runs serially or on a pool, and adding node
+    counts or repetitions never perturbs existing samples.
+    """
+    return scenario_seed(f"table1/{base_seed}", f"detect-nodes{n_nodes}",
+                         repetition)
+
+
 def run_table1(nodes: Sequence[int] = PAPER_NODES, n_runs: int = 10,
-               n_spares: int = 2, base_seed: int = 0) -> List[Table1Row]:
-    rows: List[Table1Row] = []
+               n_spares: int = 2, base_seed: int = 0,
+               jobs: Optional[int] = 1) -> List[Table1Row]:
+    tasks: List[SweepTask] = []
     for n_nodes in nodes:
-        scan = measure_scan_time(n_nodes, n_spares)
-        samples = [
-            measure_detection(n_nodes, base_seed * 1000 + n_nodes * 10 + i,
-                              n_spares)
-            for i in range(n_runs)
-        ]
+        tasks.append(SweepTask(
+            "table1", f"scan-nodes{n_nodes}", measure_scan_time,
+            (n_nodes, n_spares),
+        ))
+        for i in range(n_runs):
+            tasks.append(SweepTask(
+                "table1", f"detect-nodes{n_nodes}", measure_detection,
+                (n_nodes, detection_seed(n_nodes, i, base_seed), n_spares),
+                k=i,
+            ))
+    results = run_sweep(tasks, jobs=jobs)
+
+    rows: List[Table1Row] = []
+    per_group = 1 + n_runs
+    for idx, n_nodes in enumerate(nodes):
+        chunk = results[idx * per_group : (idx + 1) * per_group]
+        scan, samples = chunk[0], chunk[1:]
         mean = sum(samples) / len(samples)
         var = sum((s - mean) ** 2 for s in samples) / max(1, len(samples) - 1)
         rows.append(Table1Row(
@@ -115,8 +144,11 @@ def main(argv=None) -> str:
     parser.add_argument("--nodes", type=int, nargs="+",
                         default=list(PAPER_NODES))
     parser.add_argument("--runs", type=int, default=10)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="scenario-sweep worker processes "
+                             "(0 = all cores, default 1 = serial)")
     args = parser.parse_args(argv)
-    rows = run_table1(args.nodes, args.runs)
+    rows = run_table1(args.nodes, args.runs, jobs=args.jobs)
     table = format_table(HEADERS, as_rows(rows),
                          title="Table I — FD scan time and detection latency")
     print(table)

@@ -41,14 +41,38 @@ class Segment:
             )
 
     def read_bytes(self, offset: int, nbytes: int) -> bytes:
-        """Snapshot ``nbytes`` at ``offset`` (bounds-checked)."""
+        """Snapshot ``nbytes`` at ``offset`` (bounds-checked).
+
+        Returns an immutable copy — the right call when the bytes must
+        survive later segment writes (e.g. an in-flight RDMA payload).
+        For a zero-copy window consumed immediately, use
+        :meth:`read_view`.
+        """
         self.check_range(offset, nbytes)
         return self.buf[offset : offset + nbytes].tobytes()
 
-    def write_bytes(self, offset: int, data: bytes) -> None:
-        """Copy ``data`` into the segment at ``offset`` (bounds-checked)."""
-        self.check_range(offset, len(data))
-        self.buf[offset : offset + len(data)] = np.frombuffer(data, dtype=np.uint8)
+    def read_view(self, offset: int, nbytes: int) -> memoryview:
+        """Zero-copy byte window at ``offset`` (bounds-checked).
+
+        The view aliases live segment memory: remote writes landing after
+        this call are visible through it.  Use it for one-pass consumers
+        — streaming a checkpoint straight out of the segment with
+        ``pack_checkpoint_into`` / ``unpack_checkpoint`` moves the bytes
+        exactly once.
+        """
+        self.check_range(offset, nbytes)
+        return memoryview(self.buf)[offset : offset + nbytes]
+
+    def write_bytes(self, offset: int, data) -> None:
+        """Copy ``data`` into the segment at ``offset`` (bounds-checked).
+
+        ``data`` is any C-contiguous buffer — ``bytes``, ``bytearray``,
+        ``memoryview`` or numpy array — written without intermediate
+        conversion copies, so a caller-staged buffer moves bytes once.
+        """
+        src = np.frombuffer(data, dtype=np.uint8)
+        self.check_range(offset, src.nbytes)
+        self.buf[offset : offset + src.nbytes] = src
 
     def view(self, dtype, offset: int = 0, count: Optional[int] = None) -> np.ndarray:
         """Zero-copy typed view into the segment.

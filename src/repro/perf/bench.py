@@ -20,8 +20,10 @@ max-throughput is the stable statistic, as pytest-benchmark's own
 calibration notes recommend.
 
 Metric naming convention: ``*_eps`` are events (or operations) per
-second, ``*_mflops`` are MFLOP/s, ``*_wall_s`` are wall-clock seconds
-(the only lower-is-better family).
+second, ``*_mflops`` are MFLOP/s, ``*_mb_s`` are MB/s,
+``sweep_parallel_speedup`` is a dimensionless parallel-over-serial
+ratio, and ``*_wall_s`` are wall-clock seconds (the only
+lower-is-better family).
 """
 
 from __future__ import annotations
@@ -36,11 +38,16 @@ from typing import Callable, Dict, List, Optional
 BENCH_FILE = "BENCH_core.json"
 SCHEMA_VERSION = 1
 
-#: acceptance thresholds tracked by the CI smoke job (see ISSUE 1)
+#: acceptance thresholds tracked by the CI smoke job (see ISSUES 1-2)
 TARGET_SPEEDUP = {
     "des_event_throughput_eps": 2.0,
     "spmv_graphene_mflops": 1.5,
+    "ckpt_pack_mb_s": 3.0,
 }
+
+#: ``--check`` fails when a metric regresses more than this fraction
+#: against the committed ``current`` values (CI smoke guard)
+REGRESSION_TOLERANCE = 0.30
 
 
 def _best(fn: Callable[[], float], repeats: int) -> float:
@@ -209,18 +216,80 @@ def bench_lanczos_sequential(n_steps: int = 50) -> float:
 
 
 # ----------------------------------------------------------------------
+# checkpoint data-plane benches
+# ----------------------------------------------------------------------
+def _ckpt_payload(total_mib: int = 64):
+    """Representative solver state: a few big vectors + small scalars."""
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    quarter = total_mib * (1 << 20) // 4
+    return {
+        "v_j": rng.standard_normal(2 * quarter // 8),
+        "v_prev": rng.standard_normal(quarter // 8),
+        "halo": rng.standard_normal(quarter // 4).astype(np.float32),
+        "alphas": rng.standard_normal(512),
+        "betas": rng.standard_normal(512),
+        "step": np.int64(12345),
+    }
+
+
+def bench_ckpt_pack(total_mib: int = 64) -> float:
+    """Zero-copy checkpoint pack throughput (MB/s) into a reused buffer."""
+    from repro.checkpoint.serialization import pack_checkpoint_into, packed_size
+
+    payload = _ckpt_payload(total_mib)
+    size = packed_size(payload)
+    buf = bytearray(size)
+    pack_checkpoint_into(payload, buf)  # warm-up
+    t0 = time.perf_counter()
+    pack_checkpoint_into(payload, buf)
+    dt = time.perf_counter() - t0
+    return size / dt / 1e6
+
+
+def bench_ckpt_unpack(total_mib: int = 64) -> float:
+    """Zero-copy checkpoint unpack throughput (MB/s), ``copy=False``."""
+    from repro.checkpoint.serialization import pack_checkpoint, unpack_checkpoint
+
+    payload = _ckpt_payload(total_mib)
+    blob = pack_checkpoint(payload)
+    unpack_checkpoint(blob, copy=False)  # warm-up (validates CRC too)
+    t0 = time.perf_counter()
+    out = unpack_checkpoint(blob, copy=False)
+    dt = time.perf_counter() - t0
+    assert len(out) == len(payload)
+    return len(blob) / dt / 1e6
+
+
+# ----------------------------------------------------------------------
 # end-to-end
 # ----------------------------------------------------------------------
-def bench_figure4(scale: str) -> float:
+def bench_figure4(scale: str, jobs: int = 1) -> float:
     """Wall time (s) of the full Figure-4 scenario suite at ``scale``."""
     from repro.experiments.figure4 import default_spec, run_figure4
 
     spec = default_spec(scale)
     t0 = time.perf_counter()
-    outcomes = run_figure4(spec)
+    outcomes = run_figure4(spec, jobs=jobs)
     dt = time.perf_counter() - t0
     assert len(outcomes) == 7
     return dt
+
+
+def bench_sweep_scaling() -> float:
+    """Parallel-over-serial speedup of the tiny Figure-4 sweep.
+
+    Runs the same seven-scenario suite serially and with one worker per
+    core (capped at 4).  ~1.0 on a single-core box — the serial fallback
+    and pool overhead are what is being guarded there, not scaling.
+    """
+    jobs = min(4, os.cpu_count() or 1)
+    serial = min(bench_figure4("tiny", jobs=1) for _ in range(2))
+    if jobs <= 1:
+        return 1.0
+    parallel = min(bench_figure4("tiny", jobs=jobs) for _ in range(2))
+    return serial / parallel
 
 
 # ----------------------------------------------------------------------
@@ -241,9 +310,12 @@ def run_benches(quick: bool = False, repeats: int = 5) -> Dict[str, float]:
     metrics["lanczos_seq_wall_s"] = min(
         bench_lanczos_sequential() for _ in range(repeats)
     )
+    metrics["ckpt_pack_mb_s"] = _best(bench_ckpt_pack, repeats)
+    metrics["ckpt_unpack_mb_s"] = _best(bench_ckpt_unpack, repeats)
     metrics["figure4_tiny_wall_s"] = min(
         bench_figure4("tiny") for _ in range(max(2, repeats - 2))
     )
+    metrics["sweep_parallel_speedup"] = bench_sweep_scaling()
     if not quick:
         metrics["figure4_small_wall_s"] = min(bench_figure4("small")
                                               for _ in range(2))
@@ -262,10 +334,20 @@ def _speedup(seed: Dict[str, float], cur: Dict[str, float]) -> Dict[str, float]:
     return out
 
 
-def _environment() -> Dict[str, str]:
+def _regressions(previous: Dict[str, float],
+                 cur: Dict[str, float],
+                 tolerance: float = REGRESSION_TOLERANCE) -> Dict[str, float]:
+    """Metrics whose improvement ratio vs ``previous`` fell below
+    ``1 - tolerance`` (i.e. regressed more than ``tolerance``)."""
+    ratios = _speedup(previous, cur)
+    return {k: v for k, v in ratios.items() if v < 1.0 - tolerance}
+
+
+def _environment() -> Dict[str, object]:
     return {
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
         "recorded": time.strftime("%Y-%m-%d"),
     }
 
@@ -295,12 +377,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--out", default=BENCH_FILE,
                         help=f"output JSON path (default: {BENCH_FILE})")
     parser.add_argument("--check", action="store_true",
-                        help="exit non-zero if a tracked speedup target "
-                             "is missed (no-op without a seed baseline)")
+                        help="exit non-zero if a tracked speedup target is "
+                             "missed or any metric regresses >"
+                             f"{REGRESSION_TOLERANCE:.0%} vs the committed "
+                             "'current' values")
     args = parser.parse_args(argv)
 
     metrics = run_benches(quick=args.quick)
     report = load_report(args.out)
+    committed = dict(report.get("current") or {})
+    committed.pop("environment", None)
     if args.record_seed:
         report["seed"] = {**metrics, "environment": _environment()}
     else:
@@ -322,11 +408,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             line += f"   x{ratio:.2f} vs seed"
         print(line)
 
-    if args.check and "speedup" in report:
-        missed = {k: v for k, v in TARGET_SPEEDUP.items()
-                  if report["speedup"].get(k, 0.0) < v}
-        if missed:
-            print(f"FAIL: speedup targets missed: {missed}")
+    if args.check:
+        failed = False
+        if "speedup" in report:
+            missed = {k: v for k, v in TARGET_SPEEDUP.items()
+                      if k in report["speedup"]
+                      and report["speedup"][k] < v}
+            if missed:
+                print(f"FAIL: speedup targets missed: {missed}")
+                failed = True
+        regressed = _regressions(committed, metrics)
+        if regressed:
+            print("FAIL: regression vs committed current "
+                  f"(> {REGRESSION_TOLERANCE:.0%}): {regressed}")
+            failed = True
+        if failed:
             return 1
     return 0
 

@@ -200,6 +200,29 @@ def test_checkpoint_write_cost_scales_with_nominal_bytes():
     assert run.result(0) == pytest.approx(1.0, rel=0.01)
 
 
+def test_staging_buffer_reused_and_old_versions_stay_intact():
+    """The pack staging buffer is reused across writes, and stored blobs
+    must be immutable snapshots — overwriting the staging buffer with a
+    later checkpoint must not corrupt earlier stored versions."""
+
+    def main(ctx):
+        cfg = CheckpointConfig(keep_versions=4)
+        lib = CheckpointLib(ctx, logical_rank=0, participants=[0], config=cfg)
+        yield from lib.write_checkpoint(0, {"x": np.full(64, 1.0)})
+        staging = lib._staging
+        yield from lib.write_checkpoint(1, {"x": np.full(64, 2.0)})
+        same_buffer = lib._staging is staging  # equal size -> reused
+        yield from lib.write_checkpoint(2, {"x": np.full(128, 3.0)})
+        grew = len(lib._staging) >= 128 * 8
+        _, v0 = yield from lib.read_checkpoint(version=0)
+        _, v2 = yield from lib.read_checkpoint(version=2)
+        lib.shutdown()
+        return (same_buffer, grew, float(v0["x"][0]), float(v2["x"][0]))
+
+    run = run_gaspi(main, n_ranks=1)
+    assert run.result(0) == (True, True, 1.0, 3.0)
+
+
 def test_helper_dies_with_rank():
     """The helper thread is bound to the rank and must not outlive it."""
 

@@ -48,6 +48,29 @@ class TestSegment:
         with pytest.raises(GaspiUsageError):
             Segment(0, 0)
 
+    def test_write_bytes_accepts_any_buffer(self):
+        seg = Segment(0, 64)
+        seg.write_bytes(0, bytearray(b"abcd"))
+        seg.write_bytes(4, memoryview(b"efgh"))
+        seg.write_bytes(8, np.frombuffer(b"ijkl", dtype=np.uint8))
+        assert seg.read_bytes(0, 12) == b"abcdefghijkl"
+
+    def test_read_view_is_zero_copy_and_live(self):
+        seg = Segment(0, 64)
+        view = seg.read_view(8, 4)
+        assert bytes(view) == b"\0" * 4
+        seg.write_bytes(8, b"wxyz")  # lands after the view was taken
+        assert bytes(view) == b"wxyz"
+        with pytest.raises(GaspiUsageError):
+            seg.read_view(62, 4)
+
+    def test_read_bytes_is_a_snapshot(self):
+        seg = Segment(0, 16)
+        seg.write_bytes(0, b"before")
+        snap = seg.read_bytes(0, 6)
+        seg.write_bytes(0, b"after!")
+        assert snap == b"before"
+
 
 class TestSegmentTable:
     def test_create_get_delete(self):
