@@ -7,6 +7,9 @@ Subcommands map to the experiment harness modules:
 * ``ablations``— FD strategies, checkpoint interval/destination, commit
 * ``compare``  — non-shrinking (paper) vs shrinking (ULFM) recovery
 * ``bench``    — hot-path microbenchmarks, tracked in ``BENCH_core.json``
+* ``trace``    — run an experiment with structured tracing: JSONL +
+  chrome://tracing exports and a per-failure timeline report (see
+  ``OBSERVABILITY.md``)
 
 Every experiment subcommand accepts ``--jobs N``: its scenarios are
 independent simulations and fan out across N worker processes (0 = all
@@ -40,6 +43,7 @@ _COMMANDS = {
     "ablations": _experiment_main("ablations"),
     "compare": _experiment_main("recovery_compare"),
     "bench": _bench_main,
+    "trace": _experiment_main("trace"),
 }
 
 

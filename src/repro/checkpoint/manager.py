@@ -7,13 +7,36 @@ Usage from a rank's generator::
     ...                         # compute continues; neighbor copy is async
     version, payload = yield from lib.read_checkpoint()   # on restart
 
-The write path is the paper's: a synchronous local-node checkpoint, then a
-signal to the library's helper thread, which mirrors the blob to the
-neighbor node in the background (and, optionally, every ``pfs_every``-th
-version to the PFS).  ``refresh`` re-derives the neighbor after recovery;
+The write path is the paper's neighbor node-level checkpointing (§IV-C /
+Fig. 2; the C/R library of §V's overhead measurements): a synchronous
+local-node checkpoint, then a signal to the library's helper thread,
+which mirrors the blob to the neighbor node in the background (and,
+optionally, every ``pfs_every``-th version to the PFS).  Because the
+neighbor copy is asynchronous, the application only ever pays the local
+write — the paper's ≈0.01 % checkpointing overhead.  ``refresh``
+re-derives the neighbor after recovery (fault-aware placement);
 ``restorable_latest`` reports the newest version this rank could actually
 restore, which the recovery protocol min-reduces across ranks to pick the
-globally consistent restart point.
+globally consistent restart point (the allreduce-MIN version agreement).
+
+Parameter ↔ paper-symbol mapping:
+
+==========================  ====================================================
+parameter                   paper quantity
+==========================  ====================================================
+``config.local_bandwidth``  node-local store (ramdisk/SSD) write bandwidth —
+                            sets the synchronous checkpoint cost
+``config.keep_versions``    checkpoint versions retained per rank (2 in the
+                            paper: current + previous, so a failure mid-write
+                            always leaves a consistent older version)
+``config.pfs_every``        §IV-C's optional every-k-th PFS copy (0 = off)
+``version``                 the checkpoint counter the solver increments every
+                            ``FTConfig.checkpoint_interval`` iterations
+==========================  ====================================================
+
+Restore cost is the paper's OHF3; tracer events (``repro.obs``):
+``ckpt_write`` (synchronous local span), ``ckpt_mirror`` (async neighbor
+span) and ``restore`` (read path, any source).
 """
 
 from __future__ import annotations
@@ -134,12 +157,18 @@ class CheckpointLib:
         (and PFS, if due) copy finished — the application does *not* have
         to wait on it.
         """
+        t0 = self.ctx.now
         data = self._pack_to_staging(payload)
         blob = StoredBlob(data=data, nominal_bytes=nominal_bytes or len(data))
         yield Sleep(blob.nominal_bytes / self.config.local_bandwidth)
         key = (self.config.tag, self.logical_rank, version)
         self._local_store().put(key, blob)
         self.stats["local_writes"] += 1
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.emit(self.ctx.now, self.ctx.rank, "ckpt_write",
+                        dur=self.ctx.now - t0, version=version,
+                        bytes=blob.nominal_bytes)
         self._prune(self._local_store())
         mirrored = Event(name=f"ckpt-mirrored-{self.ctx.rank}-v{version}")
         self._jobs.put((key, blob, mirrored))
@@ -154,6 +183,7 @@ class CheckpointLib:
             key, blob, mirrored = job
             copied = False
             node_id = self.neighbor_node
+            t0 = self.ctx.now
             if node_id is not None:
                 yield Sleep(
                     self.machine.network.transfer_time(self.my_node, node_id, blob.nominal_bytes)
@@ -167,6 +197,11 @@ class CheckpointLib:
                     self._prune(store)
                     self.stats["neighbor_copies"] += 1
                     copied = True
+                    tracer = self.ctx.tracer
+                    if tracer.enabled:
+                        tracer.emit(self.ctx.now, self.ctx.rank,
+                                    "ckpt_mirror", dur=self.ctx.now - t0,
+                                    version=key[2], node=node_id)
             if (
                 self.pfs is not None
                 and self.config.pfs_every > 0
@@ -251,6 +286,8 @@ class CheckpointLib:
                     f"no checkpoint for logical rank {self.logical_rank}"
                 )
         key = (self.config.tag, self.logical_rank, version)
+        t0 = self.ctx.now
+        tracer = self.ctx.tracer
         for node_id in self._candidate_nodes(extra_nodes):
             store = self._store_of_node(node_id)
             if not store.has(key):
@@ -270,11 +307,20 @@ class CheckpointLib:
                 self.stats["remote_reads"] += 1
                 if reprotect:
                     yield from self._reprotect(key, blob)
+            if tracer.enabled:
+                tracer.emit(self.ctx.now, self.ctx.rank, "restore",
+                            dur=self.ctx.now - t0, version=version,
+                            source=("local" if node_id == self.my_node
+                                    else "neighbor"))
             return version, unpack_checkpoint(blob.data)
         if self.pfs is not None and self.pfs.has(key):
             blob = yield from self.pfs.read(key)
             self.stats["pfs_reads"] += 1
             if reprotect:
                 yield from self._reprotect(key, blob)
+            if tracer.enabled:
+                tracer.emit(self.ctx.now, self.ctx.rank, "restore",
+                            dur=self.ctx.now - t0, version=version,
+                            source="pfs")
             return version, unpack_checkpoint(blob.data)
         raise CheckpointNotFound(f"version {version} unavailable for {key}")

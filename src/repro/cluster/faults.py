@@ -134,12 +134,27 @@ class FaultInjector:
 
     def _make_thunk(self, event: FaultEvent) -> Callable[[], None]:
         def thunk() -> None:
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                # rank attribution must be read before the kill lands
+                for rank in _affected_ranks(event, self.machine):
+                    tracer.emit(self.sim.now, rank, "failure_injected",
+                                kind=type(event).__name__)
             event.apply(self.machine)
             self.injected.append(event)
             if self._on_inject is not None:
                 self._on_inject(event)
 
         return thunk
+
+
+def _affected_ranks(event: FaultEvent, machine: "Machine") -> List[int]:
+    """Ranks a fault event fail-stops (``[-1]`` for link events)."""
+    if isinstance(event, KillProcess):
+        return [event.rank]
+    if isinstance(event, KillNode):
+        return list(machine.ranks_on(event.node_id))
+    return [-1]
 
 
 def exponential_node_failures(

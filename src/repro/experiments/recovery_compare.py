@@ -31,8 +31,8 @@ from repro.cluster import FaultPlan, MachineSpec, TransportParams
 from repro.gaspi import AllreduceOp, run_gaspi
 from repro.ulfm import UlfmComm, UlfmResult
 from repro.experiments.common import run_ft_scenario
-from repro.experiments.report import format_table
-from repro.experiments.sweep import SweepTask, run_sweep
+from repro.experiments.report import format_phase_summary, format_table
+from repro.experiments.sweep import SweepTask, run_sweep, run_traced_sweep
 from repro.workloads.spec import scaled_spec
 
 
@@ -104,14 +104,15 @@ def measure_ulfm(n_ranks: int, error_timeout: float = 3.5) -> tuple:
     return t_detect - kill_t, t_ready - t_detect
 
 
-def run_comparison(sizes: Sequence[int] = (8, 16, 32, 64, 128, 256),
-                   jobs: Optional[int] = 1) -> List[CompareRow]:
+def comparison_tasks(sizes: Sequence[int]) -> List[SweepTask]:
     tasks = []
     for n in sizes:
         tasks.append(SweepTask("compare", f"gaspi-{n}", measure_gaspi, (n,)))
         tasks.append(SweepTask("compare", f"ulfm-{n}", measure_ulfm, (n,)))
-    results = run_sweep(tasks, jobs=jobs)
+    return tasks
 
+
+def _rows_from_results(sizes: Sequence[int], results: List) -> List[CompareRow]:
     rows = []
     for idx, n in enumerate(sizes):
         (g_det, g_rec), (u_det, u_rec) = results[2 * idx], results[2 * idx + 1]
@@ -121,6 +122,12 @@ def run_comparison(sizes: Sequence[int] = (8, 16, 32, 64, 128, 256),
             ulfm_detection=u_det, ulfm_reconstruction=u_rec,
         ))
     return rows
+
+
+def run_comparison(sizes: Sequence[int] = (8, 16, 32, 64, 128, 256),
+                   jobs: Optional[int] = 1) -> List[CompareRow]:
+    results = run_sweep(comparison_tasks(sizes), jobs=jobs)
+    return _rows_from_results(sizes, results)
 
 
 HEADERS = ["ranks", "GASPI detect[s]", "GASPI rebuild[s]", "GASPI total[s]",
@@ -140,8 +147,25 @@ def main(argv=None) -> str:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="scenario-sweep worker processes "
                              "(0 = all cores, default 1 = serial)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="capture a structured trace (repro.obs) to "
+                             "this JSONL file and print GASPI per-failure "
+                             "phase latencies")
     args = parser.parse_args(argv)
-    rows = run_comparison(args.sizes, jobs=args.jobs)
+    if args.trace:
+        from repro.obs.export import write_jsonl
+
+        results, traces = run_traced_sweep(
+            comparison_tasks(args.sizes), jobs=args.jobs)
+        rows = _rows_from_results(args.sizes, results)
+        write_jsonl([(tr.label, tr.events) for tr in traces], args.trace)
+        # ULFM tasks are not FT-stack instrumented; only GASPI scenarios
+        # contribute failure chains here
+        print(format_phase_summary(
+            [tr for tr in traces if tr.scenario.startswith("gaspi")]))
+        print()
+    else:
+        rows = run_comparison(args.sizes, jobs=args.jobs)
     table = format_table(
         HEADERS, as_rows(rows),
         title="Recovery comparison: non-shrinking (GASPI+FD) vs shrinking (ULFM)")

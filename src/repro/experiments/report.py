@@ -4,6 +4,10 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+#: columns of the per-failure phase-latency table (``repro.obs`` timelines)
+PHASE_HEADERS = ["scenario", "epoch", "failed", "detect[s]", "broadcast[s]",
+                 "rebuild[s]", "promote[s]", "restore[s]", "total[s]"]
+
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence],
                  title: str = "") -> str:
@@ -27,7 +31,39 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence],
     return "\n".join(lines)
 
 
+def phase_summary_rows(traces: Iterable) -> List[List]:
+    """Per-failure phase latencies from captured sweep traces.
+
+    ``traces`` are :class:`repro.experiments.sweep.SweepTrace` objects (or
+    anything with ``label`` and ``events``); one output row per detected
+    failure epoch, with per-phase latencies in ``PHASE_HEADERS`` order.
+    """
+    from repro.obs.timeline import build_timelines
+
+    rows: List[List] = []
+    for trace in traces:
+        for rec in build_timelines(trace.events, scenario=trace.label):
+            rows.append([
+                trace.label, rec.epoch, ",".join(map(str, rec.failed)),
+                rec.detection_latency_s, rec.broadcast_s,
+                rec.group_rebuild_s, rec.spare_promote_s, rec.restore_s,
+                rec.total_recovery_s,
+            ])
+    return rows
+
+
+def format_phase_summary(traces: Iterable,
+                         title: str = "Per-failure phase latencies") -> str:
+    """Phase-latency table for captured traces (empty-safe)."""
+    rows = phase_summary_rows(traces)
+    if not rows:
+        return f"{title}: (no failures traced)"
+    return format_table(PHASE_HEADERS, rows, title=title)
+
+
 def _fmt(cell) -> str:
+    if cell is None:
+        return "—"
     if isinstance(cell, float):
         if cell == 0:
             return "0"

@@ -33,7 +33,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["SweepTask", "run_sweep", "resolve_jobs", "scenario_seed"]
+__all__ = ["SweepTask", "SweepTrace", "run_sweep", "run_traced_sweep",
+           "resolve_jobs", "scenario_seed"]
 
 
 def scenario_seed(experiment: str, scenario: str, k: int = 0) -> int:
@@ -92,6 +93,36 @@ def _pool_context() -> mp.context.BaseContext:
     return mp.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _map_tasks(fn: Callable[[Any], Any], items: List[Any],
+               jobs: Optional[int]) -> List[Any]:
+    """The shared executor: map ``fn`` over ``items`` in item order.
+
+    ``jobs=1`` runs inline; otherwise a fork-based process pool, degrading
+    silently to the serial path on platforms without working pools — the
+    results (and traces) are identical either way, because everything
+    order-dependent is keyed on the task identity, never on the worker.
+    """
+    n_jobs = min(resolve_jobs(jobs), len(items)) if items else 1
+    if n_jobs <= 1:
+        return [fn(item) for item in items]
+    try:
+        pool = ProcessPoolExecutor(max_workers=n_jobs,
+                                   mp_context=_pool_context())
+    except (OSError, PermissionError, ValueError):
+        return [fn(item) for item in items]
+    with pool:
+        # map() preserves submission order regardless of completion order
+        return list(pool.map(fn, items))
+
+
+def _check_unique(task_list: List[SweepTask]) -> None:
+    seen = set()
+    for task in task_list:
+        if task.key in seen:
+            raise ValueError(f"duplicate sweep task key {task.key!r}")
+        seen.add(task.key)
+
+
 def run_sweep(tasks: Iterable[SweepTask], jobs: Optional[int] = 1) -> List[Any]:
     """Run every task; return their results in task order.
 
@@ -102,19 +133,60 @@ def run_sweep(tasks: Iterable[SweepTask], jobs: Optional[int] = 1) -> List[Any]:
     serial path — the results are identical either way.
     """
     task_list = list(tasks)
-    seen = set()
-    for task in task_list:
-        if task.key in seen:
-            raise ValueError(f"duplicate sweep task key {task.key!r}")
-        seen.add(task.key)
-    n_jobs = min(resolve_jobs(jobs), len(task_list)) if task_list else 1
-    if n_jobs <= 1:
-        return [_run_task(t) for t in task_list]
+    _check_unique(task_list)
+    return _map_tasks(_run_task, task_list, jobs)
+
+
+@dataclass(frozen=True)
+class SweepTrace:
+    """One task's captured trace (``repro.obs`` events, emission order)."""
+
+    experiment: str
+    scenario: str
+    k: int
+    events: Tuple = ()
+    dropped: int = 0
+
+    @property
+    def label(self) -> str:
+        return (self.scenario if self.k == 0
+                else f"{self.scenario}#{self.k}")
+
+
+def _run_task_traced(item: Tuple[SweepTask, int]) -> Tuple[Any, Tuple, int]:
+    """Worker wrapper: fresh tracer around one task, events shipped back."""
+    from repro.obs import tracer as obs_tracer
+
+    task, capacity = item
+    tracer = obs_tracer.install(capacity=capacity)
     try:
-        pool = ProcessPoolExecutor(max_workers=n_jobs,
-                                   mp_context=_pool_context())
-    except (OSError, PermissionError, ValueError):
-        return [_run_task(t) for t in task_list]
-    with pool:
-        # map() preserves submission order regardless of completion order
-        return list(pool.map(_run_task, task_list))
+        result = _run_task(task)
+    finally:
+        obs_tracer.deactivate()
+    # TraceEvent is a namedtuple of plain values — picklable as-is
+    return result, tuple(tracer.events()), tracer.dropped
+
+
+def run_traced_sweep(tasks: Iterable[SweepTask], jobs: Optional[int] = 1,
+                     capacity: Optional[int] = None,
+                     ) -> Tuple[List[Any], List[SweepTrace]]:
+    """Like :func:`run_sweep`, but with per-task structured tracing.
+
+    Each task runs with its own fresh :class:`repro.obs.Tracer` installed
+    (so parallel workers never share a buffer) and returns
+    ``(results, traces)``, both in task order — the merged trace is
+    therefore deterministic and byte-identical serial vs. parallel.
+    """
+    from repro.obs.tracer import DEFAULT_CAPACITY
+
+    task_list = list(tasks)
+    _check_unique(task_list)
+    cap = capacity or DEFAULT_CAPACITY
+    outs = _map_tasks(_run_task_traced, [(t, cap) for t in task_list], jobs)
+    results = [result for result, _, _ in outs]
+    traces = [
+        SweepTrace(experiment=t.experiment, scenario=t.scenario, k=t.k,
+                   events=events, dropped=dropped)
+        for t, (_, events, dropped) in zip(task_list, outs)
+    ]
+    return results, traces

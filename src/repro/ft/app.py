@@ -238,12 +238,20 @@ def worker_loop(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
             if mode == "fresh":
                 work = yield from program.setup(ftx)
             else:
+                t_restore = ctx.now
                 version = yield from ftx.agree_restore_version()
                 ftx.mark("restore", version=version)
                 payload = None
                 if version >= 0:
                     payload = yield from ftx.read_state_checkpoint(version)
                 work = yield from program.restore(ftx, payload)
+                tracer = ctx.tracer
+                if tracer.enabled:
+                    tracer.emit(ctx.now, ctx.rank, "restore",
+                                dur=ctx.now - t_restore, epoch=ftx.epoch,
+                                version=version)
+                    tracer.emit(ctx.now, ctx.rank, "rollback",
+                                epoch=ftx.epoch, version=version)
             result = yield from program.run(ftx, work)
             # completion consensus: nobody declares the job done until the
             # whole team reached this point — a member dying in its final

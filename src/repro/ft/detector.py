@@ -1,14 +1,42 @@
-"""The dedicated fault-detector process (paper Listing 1 + Sect. IV-A).
+"""The dedicated fault-detector process (paper §III-B/§IV-A, Listing 1).
 
-The FD periodically pings every process it does not already know to be
-dead (the ``avoid_list``).  A ping returning ``GASPI_ERROR`` marks a
-fail-stop; the FD then assigns rescues from the spare pool, updates the
-authoritative rank map and broadcasts the failure notice into every
-healthy rank's control block by one-sided writes.
+This module implements the paper's *fault detection* mechanism: a
+dedicated FD process — one of the pre-allocated spares — periodically
+pings every process it does not already know to be dead (the paper's
+``avoid_list``).  GASPI deliberately has no built-in fault detection on
+the failure-free path; instead, ``gaspi_proc_ping`` diagnoses a broken
+channel only after the transport's error timeout, which is why the
+healthy-case overhead is zero by construction (paper §III-A).  A ping
+returning ``GASPI_ERROR`` marks a fail-stop; the FD then assigns rescues
+from the spare pool, updates the authoritative logical→physical rank map
+and broadcasts the failure notice into every healthy rank's control block
+by one-sided writes (§IV-B) — workers never block on detection, they read
+a local flag.
 
-``fd_threads > 1`` reproduces the paper's threaded FD: that many pings are
-posted concurrently (on different queues in GPI-2 terms), so ``k``
-simultaneous failures are detected at roughly the cost of one.
+Parameter ↔ paper-symbol mapping:
+
+===========================  ====================================================
+parameter                    paper quantity
+===========================  ====================================================
+``cfg.fd_scan_period``       the FD's health-check interval (§IV-A; 3 s in
+                             the paper's runs — dominates detection latency)
+``cfg.comm_timeout``         the GASPI timeout passed to blocking calls
+                             (§III-A, ``GASPI_TIMEOUT`` discipline; 1 s)
+``cfg.scan_setup_overhead``  fixed per-scan cost before the first ping
+                             (Table I's offset at small node counts)
+``cfg.fd_threads``           the threaded-FD width (§V-C: *k* simultaneous
+                             failures detected at roughly the cost of one)
+transport error timeout      the channel-teardown delay a dead target adds
+                             to its first ping (~3.5 s; `cluster.transport`)
+===========================  ====================================================
+
+Detection latency as measured in Figure 4/Table I therefore decomposes as
+``fd_scan_period/2`` (expected wait for the next scan) + scan time +
+error timeout — the flat-in-node-count sum the paper reports.
+
+Every lifecycle milestone is mirrored into the structured tracer
+(``repro.obs``): per-ping ``ping`` events, a ``detection`` event at scan
+resolution and a ``broadcast_flags`` span covering the notice broadcast.
 """
 
 from __future__ import annotations
@@ -60,14 +88,19 @@ def scan_once(ctx: GaspiContext, targets: List[int], fd_threads: int = 1):
     concurrently (the threaded-FD behaviour), between batches sequentially.
     """
     failed: List[int] = []
+    tracer = ctx.tracer
     for start in range(0, len(targets), max(1, fd_threads)):
         batch = targets[start : start + max(1, fd_threads)]
         events = [(rank, ctx.proc_ping_post(rank)) for rank in batch]
         for rank, event in events:
+            t0 = ctx.now
             _, result = yield WaitEvent(event)
             alive, _ = result
             if ctx.note_ping_result(rank, alive) is ReturnCode.ERROR:
                 failed.append(rank)
+            if tracer.enabled:
+                tracer.emit(ctx.now, ctx.rank, "ping", dur=ctx.now - t0,
+                            target=rank, alive=bool(alive))
     return failed
 
 
@@ -142,7 +175,17 @@ def fd_process(ctx: GaspiContext, cfg: FTConfig,
             r for r in range(cfg.n_ranks)
             if r not in avoid and statuses[r] != Role.FAILED
         ]
+        tracer = ctx.tracer
+        if tracer.enabled:
+            tracer.emit(t_detected, ctx.rank, "detection", epoch=epoch,
+                        failed=list(assignment.failed),
+                        rescues=list(assignment.rescues),
+                        fd_joined=assignment.fd_joined)
         yield from block.broadcast(healthy, timeout=cfg.comm_timeout)
+        if tracer.enabled:
+            tracer.emit(ctx.now, ctx.rank, "broadcast_flags",
+                        dur=ctx.now - t_detected, epoch=epoch,
+                        n_targets=len(healthy))
         stats.detections.append(DetectionEvent(
             epoch=epoch,
             t_detected=t_detected,

@@ -1,18 +1,34 @@
-"""Communication reconstruction after failure (paper Listing 2).
+"""Non-shrinking communication recovery after failure (paper §IV, Listing 2).
 
+This module implements the paper's *non-shrinking recovery*: the job keeps
+its size after a failure because pre-allocated spare processes "overtake
+the identity of the failed processes" — unlike ULFM's default shrinking
+``MPI_Comm_shrink`` path (the paper's comparison target, `repro.ulfm`).
 Every member of the *new* worker group — survivors and freshly designated
 rescues — executes :func:`perform_recovery`:
 
 1. adopt identity: look up one's logical rank in the FD-authoritative rank
-   map (rescues "overtake the identity of the failed processes");
+   map carried by the failure notice;
 2. delete the broken worker group (survivors only — rescues never had it);
 3. ``gaspi_proc_kill`` every reported-failed rank, so transient and
    false-positive "failures" are forced to really die before the group is
-   rebuilt;
+   rebuilt (what makes the FD's false positives safe, §IV-B);
 4. purge communication queues of operations stuck on dead targets;
-5. create and *commit* the new group (the blocking, linear-cost step the
-   paper measures as OHF2).  If yet another failure notice arrives while
+5. create and *commit* the new group — the blocking, linear-in-group-size
+   step the paper measures as **OHF2** ("re-initialisation" in Figure 4;
+   ~10 s at 256 workers).  If yet another failure notice arrives while
    committing, the whole procedure restarts with the newer notice.
+
+Parameter ↔ paper-symbol mapping: ``cfg.comm_timeout`` is the GASPI
+timeout bounding each blocking step (``gaspi_proc_kill``,
+``gaspi_group_commit``); ``notice.epoch`` numbers recovery rounds and is
+the new group's tag; steps 3–5 together are the paper's OHF2, while the
+subsequent checkpoint restore (`repro.checkpoint`) is OHF3 and the
+redone iterations are OHF4.
+
+Tracer events (``repro.obs``): a ``proc_kill`` span per enforced kill, a
+``group_rebuild`` span ending at commit success, and a ``spare_promote``
+span on each rescue covering its whole identity-adoption.
 """
 
 from __future__ import annotations
@@ -69,6 +85,8 @@ def perform_recovery(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
     while the group commit is pending.
     """
     was_rescue = False
+    tracer = ctx.tracer
+    t_start = ctx.now
     while True:
         rank_map = dict(notice.rank_map)
         my_logical = None
@@ -90,11 +108,17 @@ def perform_recovery(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
         # enforce the death of everything the FD reported (false positives
         # and transient failures are made permanent before we rebuild)
         for failed in notice.failed:
+            t_kill = ctx.now
             yield from ctx.proc_kill(failed, cfg.comm_timeout)
+            if tracer.enabled:
+                tracer.emit(ctx.now, ctx.rank, "proc_kill",
+                            dur=ctx.now - t_kill, target=failed,
+                            epoch=notice.epoch)
 
         for queue_id in range(ctx.n_queues):
             ctx.queue_purge(queue_id)
 
+        t_rebuild = ctx.now
         group = ctx.group_create(tag=notice.epoch)
         for phys in sorted(rank_map.values()):
             ctx.group_add(group, phys)
@@ -112,6 +136,14 @@ def perform_recovery(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
         if superseded:
             continue
 
+        if tracer.enabled:
+            tracer.emit(ctx.now, ctx.rank, "group_rebuild",
+                        dur=ctx.now - t_rebuild, epoch=notice.epoch,
+                        size=len(rank_map))
+            if was_rescue:
+                tracer.emit(ctx.now, ctx.rank, "spare_promote",
+                            dur=ctx.now - t_start, epoch=notice.epoch,
+                            logical=my_logical)
         team = Team(ctx=ctx, group=group, logical_rank=my_logical,
                     rank_map=rank_map)
         return RecoveryResult(

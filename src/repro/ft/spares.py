@@ -1,4 +1,14 @@
-"""Spare-pool bookkeeping: rescue assignment on the FD side."""
+"""Spare-pool bookkeeping: rescue assignment on the FD side (paper §IV).
+
+The paper's non-shrinking design pre-allocates idle spare processes at
+job launch (``FTConfig.n_spares``); on failure the FD promotes the
+lowest-ranked idle spares to adopt the failed workers' logical
+identities.  The pool size bounds the failure budget (§IV-D restriction
+1), and once it runs dry the FD itself joins as the final rescue —
+ending fault tolerance (restriction 2).  The promotion itself is traced
+on the rescue side as a ``spare_promote`` span (`repro.ft.recovery`);
+this module is pure bookkeeping and runs in zero virtual time.
+"""
 
 from __future__ import annotations
 

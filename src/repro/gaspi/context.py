@@ -76,6 +76,11 @@ class GaspiContext:
         return self.world.sim.now
 
     @property
+    def tracer(self):
+        """This job's structured tracer (``repro.obs``; no-op by default)."""
+        return self.world.sim.tracer
+
+    @property
     def n_queues(self) -> int:
         return len(self._queues)
 

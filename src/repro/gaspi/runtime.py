@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, Optional
 
+from repro.obs.tracer import NULL_TRACER, active_tracer
 from repro.sim import Process, Simulator
 from repro.cluster import FaultInjector, FaultPlan, Machine, MachineSpec
 from repro.gaspi.collectives import CollectiveEngine
@@ -105,6 +106,12 @@ def run_gaspi(
     given it wins over ``n_ranks``/``procs_per_node``.
     """
     sim = sim or Simulator()
+    # adopt the process-wide tracer (repro.obs) for this job, unless the
+    # caller already attached one to an explicitly supplied simulator
+    if sim.tracer is NULL_TRACER:
+        tracer = active_tracer()
+        if tracer is not NULL_TRACER:
+            sim.tracer = tracer
     if machine_spec is None:
         if n_ranks % procs_per_node != 0:
             raise ValueError("n_ranks must be a multiple of procs_per_node")

@@ -1,0 +1,108 @@
+"""Trace serialisation: JSONL files and ``chrome://tracing`` exports.
+
+Two interchange formats:
+
+* **JSONL** — one event per line, each a flat JSON object with the
+  :class:`~repro.obs.tracer.TraceEvent` columns plus a ``task`` label
+  identifying which sweep task emitted it.  Append-friendly, greppable,
+  and round-trips via :func:`events_from_jsonl`.
+* **Chrome trace** — the Trace Event Format consumed by
+  ``chrome://tracing`` / Perfetto.  Span events (``dur > 0``) become
+  complete (``"ph": "X"``) events, instants become ``"ph": "i"``.
+  Each sweep task maps to a ``pid`` (named via metadata events) and each
+  rank to a ``tid``, so overlapping scenarios stay visually separate.
+
+Timestamps: trace events are stamped at their *end* in virtual seconds;
+Chrome wants start timestamps in microseconds, hence ``ts = (t-dur)*1e6``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Sequence, Tuple
+
+from .tracer import TraceEvent
+
+#: a labelled trace: (task label, events in emission order)
+TaskTrace = Tuple[str, Sequence[TraceEvent]]
+
+
+def event_to_record(ev: TraceEvent, task: str = "") -> dict:
+    rec = {"t": ev.t, "rank": ev.rank, "etype": ev.etype, "dur": ev.dur}
+    if task:
+        rec["task"] = task
+    if ev.fields:
+        rec["fields"] = ev.fields
+    return rec
+
+
+def write_jsonl(traces: Iterable[TaskTrace], path: str) -> int:
+    """Write labelled traces as JSONL; returns the number of lines."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for task, events in traces:
+            for ev in events:
+                fh.write(json.dumps(event_to_record(ev, task),
+                                    sort_keys=True))
+                fh.write("\n")
+                n += 1
+    return n
+
+
+def events_from_jsonl(path: str) -> List[Tuple[str, TraceEvent]]:
+    """Read a JSONL trace back as ``(task, event)`` pairs in file order."""
+    out: List[Tuple[str, TraceEvent]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            out.append((rec.get("task", ""),
+                        TraceEvent(rec["t"], rec["rank"], rec["etype"],
+                                   rec.get("dur", 0.0),
+                                   rec.get("fields", {}))))
+    return out
+
+
+def chrome_trace(traces: Iterable[TaskTrace]) -> dict:
+    """Build a Trace-Event-Format document from labelled traces."""
+    out: List[dict] = []
+    for pid, (task, events) in enumerate(traces):
+        out.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": task or f"task-{pid}"},
+        })
+        for ev in events:
+            args = {k: _jsonable(v) for k, v in ev.fields.items()}
+            tid = max(ev.rank, 0)
+            if ev.dur > 0.0:
+                out.append({
+                    "ph": "X", "name": ev.etype, "cat": "repro",
+                    "pid": pid, "tid": tid,
+                    "ts": (ev.t - ev.dur) * 1e6, "dur": ev.dur * 1e6,
+                    "args": args,
+                })
+            else:
+                out.append({
+                    "ph": "i", "name": ev.etype, "cat": "repro",
+                    "pid": pid, "tid": tid, "ts": ev.t * 1e6,
+                    "s": "t", "args": args,
+                })
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(traces: Iterable[TaskTrace], path: str) -> int:
+    """Write a ``chrome://tracing``-loadable JSON file; returns #events."""
+    doc = chrome_trace(traces)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])
+
+
+def _jsonable(value):
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

@@ -1,0 +1,207 @@
+"""Structured failure-lifecycle tracing: typed events in a ring buffer.
+
+The paper's claims are *timings of a failure lifecycle* — how long the
+ping-based FD takes to notice a dead rank, how long the group rebuild and
+rescue promotion cost, what the checkpoints add — so the observability
+layer records exactly those moments as typed :class:`TraceEvent` records
+with sim-time timestamps and rank attribution.
+
+Design constraints, mirroring the FD's zero-overhead property:
+
+* **The failure-free (and trace-free) path stays free.**  The module-level
+  active tracer defaults to :data:`NULL_TRACER`, whose ``emit`` is a
+  no-op and whose ``enabled`` flag is ``False``; hot loops guard their
+  emission with ``if tracer.enabled:`` so a disabled run performs one
+  attribute load per candidate event and allocates nothing.
+* **Bounded memory.**  :class:`Tracer` appends into a preallocated ring
+  buffer; once full, the oldest events are overwritten and counted in
+  :attr:`Tracer.dropped` — a runaway scenario can never exhaust memory.
+* **Explicit timestamps.**  Emission sites pass the simulation clock
+  (``ctx.now``); events that represent a span pass ``dur`` and are
+  stamped at their *end* time, so ``t - dur`` recovers the start.
+
+Event taxonomy (see ``OBSERVABILITY.md`` for the full glossary)::
+
+    ping              one FD probe resolved              (detector)
+    failure_injected  a fault-plan event fired           (injector)
+    detection         the FD's scan resolved failures    (detector)
+    broadcast_flags   failure notice written to ranks    (detector)
+    group_rebuild     new group created + committed      (recovery)
+    spare_promote     a rescue adopted a failed identity (recovery)
+    proc_kill         gaspi_proc_kill of a suspect       (recovery)
+    ckpt_write        local checkpoint written           (checkpoint)
+    ckpt_mirror       neighbor copy landed               (checkpoint)
+    restore           checkpoint state restored          (checkpoint/app)
+    solver_iter       one solver iteration finished      (solvers)
+    rollback          app resumed from restored state    (app)
+"""
+
+from __future__ import annotations
+
+from collections import namedtuple
+from typing import Iterator, List, Optional
+
+# ----------------------------------------------------------------------
+# event taxonomy
+# ----------------------------------------------------------------------
+PING = "ping"
+FAILURE_INJECTED = "failure_injected"
+DETECTION = "detection"
+BROADCAST_FLAGS = "broadcast_flags"
+GROUP_REBUILD = "group_rebuild"
+SPARE_PROMOTE = "spare_promote"
+PROC_KILL = "proc_kill"
+CKPT_WRITE = "ckpt_write"
+CKPT_MIRROR = "ckpt_mirror"
+RESTORE = "restore"
+SOLVER_ITER = "solver_iter"
+ROLLBACK = "rollback"
+
+EVENT_TYPES = frozenset({
+    PING, FAILURE_INJECTED, DETECTION, BROADCAST_FLAGS, GROUP_REBUILD,
+    SPARE_PROMOTE, PROC_KILL, CKPT_WRITE, CKPT_MIRROR, RESTORE,
+    SOLVER_ITER, ROLLBACK,
+})
+
+#: one trace record: end timestamp (virtual s), emitting physical rank
+#: (-1 = not rank-attributable), event type, span duration (0 = instant),
+#: and a dict of type-specific fields (``epoch``, ``version``, ...)
+TraceEvent = namedtuple("TraceEvent", ("t", "rank", "etype", "dur", "fields"))
+
+#: default ring capacity — enough for every paper-scale scenario's
+#: lifecycle events while bounding a runaway ``solver_iter`` stream
+DEFAULT_CAPACITY = 1 << 16
+
+
+class Tracer:
+    """Append-only ring buffer of :class:`TraceEvent` records."""
+
+    __slots__ = ("_buf", "_capacity", "_n")
+
+    #: hot-path guard: ``if tracer.enabled: tracer.emit(...)``
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._buf: List[Optional[TraceEvent]] = [None] * capacity
+        self._capacity = capacity
+        self._n = 0  # total events ever emitted
+
+    # ------------------------------------------------------------------
+    def emit(self, t: float, rank: int, etype: str, dur: float = 0.0,
+             **fields) -> None:
+        """Record one event; O(1), overwrites the oldest when full."""
+        n = self._n
+        self._buf[n % self._capacity] = TraceEvent(t, rank, etype, dur, fields)
+        self._n = n + 1
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def total_emitted(self) -> int:
+        """Events ever emitted, including overwritten ones."""
+        return self._n
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring wraparound."""
+        return max(0, self._n - self._capacity)
+
+    def __len__(self) -> int:
+        return min(self._n, self._capacity)
+
+    def events(self) -> List[TraceEvent]:
+        """Retained events, oldest first (insertion order)."""
+        n, cap = self._n, self._capacity
+        if n <= cap:
+            return [e for e in self._buf[:n]]
+        head = n % cap
+        return self._buf[head:] + self._buf[:head]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events())
+
+    def clear(self) -> None:
+        """Forget everything (capacity is kept)."""
+        self._buf = [None] * self._capacity
+        self._n = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Tracer {len(self)}/{self._capacity} events"
+                f" (+{self.dropped} dropped)>")
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    A single module-level instance (:data:`NULL_TRACER`) is shared by
+    every simulator and context, so the disabled path costs one attribute
+    load (``tracer.enabled`` → ``False``) and zero allocations.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    capacity = 0
+    total_emitted = 0
+    dropped = 0
+
+    def emit(self, t: float, rank: int, etype: str, dur: float = 0.0,
+             **fields) -> None:
+        pass
+
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(())
+
+    def clear(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullTracer>"
+
+
+#: the shared disabled tracer (identity-compared throughout the stack)
+NULL_TRACER = NullTracer()
+
+# ----------------------------------------------------------------------
+# the module-level active tracer
+# ----------------------------------------------------------------------
+_active = NULL_TRACER
+
+
+def install(tracer: Optional[Tracer] = None,
+            capacity: int = DEFAULT_CAPACITY) -> Tracer:
+    """Make ``tracer`` (or a fresh one) the process-wide active tracer.
+
+    Simulations pick the active tracer up at launch (``run_gaspi`` copies
+    it onto the simulator), so install *before* starting a run.  Returns
+    the installed tracer.
+    """
+    global _active
+    if tracer is None:
+        tracer = Tracer(capacity=capacity)
+    _active = tracer
+    return tracer
+
+
+def deactivate():
+    """Restore the disabled default; returns the previously active tracer."""
+    global _active
+    previous = _active
+    _active = NULL_TRACER
+    return previous
+
+
+def active_tracer():
+    """The currently installed tracer (:data:`NULL_TRACER` when disabled)."""
+    return _active

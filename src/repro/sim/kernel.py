@@ -38,6 +38,7 @@ from heapq import heapify, heappop, heappush
 from itertools import count
 from typing import Any, Callable, Generator, Iterator, List, Optional, Union
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.errors import SimDeadlock, SimError
 from repro.sim.events import Event, Sleep, WaitEvent
 from repro.sim.process import Process, ProcessState
@@ -172,6 +173,10 @@ class Simulator:
         self._n_cancelled: int = 0
         self._processes: List[Process] = []
         self._trace: Optional[List[tuple]] = None
+        # structured observability (repro.obs): the per-simulation tracer.
+        # Defaults to the shared no-op; instrumented sites guard emission
+        # with ``tracer.enabled`` so the dispatch loop stays untouched.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # scheduling

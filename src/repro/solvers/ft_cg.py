@@ -107,7 +107,9 @@ class FTConjugateGradient(FTProgram):
 
         residual = rho ** 0.5
         ap = vec(np.empty(engine.n_local))  # reused spMVM output buffer
+        tracer = ftx.ctx.tracer
         while step < self.n_steps and residual > self.tol * b_norm:
+            t0 = ftx.now
             yield from engine.multiply(p.local, out=ap.local, tag=step)
             p_ap = yield from p.dot(ap)
             if p_ap <= 0.0:
@@ -122,6 +124,9 @@ class FTConjugateGradient(FTProgram):
             residual = rho ** 0.5
             step += 1
             ftx.count("iterations")
+            if tracer.enabled:
+                tracer.emit(ftx.now, ftx.ctx.rank, "solver_iter",
+                            dur=ftx.now - t0, step=step)
             if step % interval == 0:
                 yield from ftx.checkpoint(step // interval, {
                     "cg.x": x.local, "cg.r": r.local, "cg.p": p.local,

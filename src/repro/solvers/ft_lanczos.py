@@ -102,9 +102,14 @@ class FTLanczos(FTProgram):
     def run(self, ftx: FTContext, solver: DistributedLanczos):
         interval = self.checkpoint_interval or ftx.cfg.checkpoint_interval
         last_min: Optional[float] = None
+        tracer = ftx.ctx.tracer
         while solver.state.step < self.n_steps:
+            t0 = ftx.now
             yield from solver.step()
             step = solver.state.step
+            if tracer.enabled:
+                tracer.emit(ftx.now, ftx.ctx.rank, "solver_iter",
+                            dur=ftx.now - t0, step=step)
             if step % interval == 0:
                 yield from ftx.checkpoint(
                     step // interval, solver.state.to_payload(),

@@ -95,12 +95,17 @@ class FTPowerIteration(FTProgram):
         # ping-pong pair: y receives the spMVM, then swaps roles with x
         y = DistVector(ftx.team, np.empty(engine.n_local), ftx.guard,
                        ftx.cfg.comm_timeout)
+        tracer = ftx.ctx.tracer
         while step < self.n_steps:
+            t0 = ftx.now
             yield from engine.multiply(x.local, out=y.local, tag=step)
             rayleigh = yield from y.dot(x)
             norm = yield from y.norm()
             step += 1
             ftx.count("iterations")
+            if tracer.enabled:
+                tracer.emit(ftx.now, ftx.ctx.rank, "solver_iter",
+                            dur=ftx.now - t0, step=step)
             if norm == 0.0:
                 estimate = 0.0
                 break

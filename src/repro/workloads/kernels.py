@@ -54,13 +54,18 @@ class ModelLanczosProgram(FTProgram):
         spec = self.spec
         step = work["step"]
         iterations_executed = 0
+        tracer = ftx.ctx.tracer
         while step < spec.n_iterations:
             # the alpha reduction: the iteration's (guarded) global sync
+            t0 = ftx.now
             yield from ftx.agree_min(step)
             yield Sleep(spec.iteration_time)
             step += 1
             iterations_executed += 1
             ftx.count("iterations")
+            if tracer.enabled:
+                tracer.emit(ftx.now, ftx.ctx.rank, "solver_iter",
+                            dur=ftx.now - t0, step=step)
             if step % spec.checkpoint_interval == 0:
                 yield from ftx.checkpoint(
                     step // spec.checkpoint_interval,
