@@ -47,6 +47,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.sim import Channel, Event, Sleep
+from repro.gaspi.constants import ReturnCode
 from repro.gaspi.context import GaspiContext
 from repro.checkpoint.neighbor import neighbor_of
 from repro.checkpoint.pfs import ParallelFileSystem
@@ -71,6 +72,12 @@ class CheckpointConfig:
     keep_versions: int = 2
     #: mirror every k-th version to the PFS (0 disables PFS copies)
     pfs_every: int = 0
+    #: GASPI segment id of the mirror data plane's staging window; the
+    #: neighbor copy ships through ``gaspi_write_list`` on this segment
+    mirror_segment: int = 60
+    #: staging window size (bytes); blobs larger than this stage a prefix
+    #: while the time model still charges the full nominal size
+    mirror_window: int = 64 * 1024
 
 
 class CheckpointLib:
@@ -92,6 +99,13 @@ class CheckpointLib:
         self.participants: List[int] = sorted(participants)
         self.neighbor_rank: Optional[int] = None
         self.refresh(self.participants)
+        # GASPI data plane for neighbor mirroring: own staging window plus
+        # a dedicated queue, so mirror flushes never contend with the
+        # application's queue 0 (the paper's library thread does the same)
+        if self.config.mirror_segment not in ctx.segments:
+            ctx.segment_create(self.config.mirror_segment,
+                               self.config.mirror_window)
+        self._mirror_queue = ctx.queue_create()
         self._jobs = Channel(name=f"ckpt-jobs-{ctx.rank}")
         self._helper = ctx.world.launch(
             ctx.rank, self._helper_loop(), name=f"ckpt-helper-{ctx.rank}"
@@ -174,6 +188,51 @@ class CheckpointLib:
         self._jobs.put((key, blob, mirrored))
         return mirrored
 
+    def _mirror_transfer(self, neighbor_rank: int, node_id: int,
+                         blob: StoredBlob):
+        """Generator: ship the blob to the neighbor's mirror window.
+
+        The copy travels as one ``gaspi_write_list`` on the dedicated
+        mirror queue (chunked entries, vectorized time model charging the
+        blob's full nominal size).  Returns whether the transfer was
+        delivered: a dead/unreachable neighbor leaves the operations stuck
+        on the queue, the flush times out and the queue is purged —
+        recovery hygiene identical to the worker comm path.  Falls back to
+        a plain timed transfer when the neighbor has no mirror segment
+        (e.g. a rank promoted mid-run before its library initialised).
+        """
+        ctx = self.ctx
+        seg_id = self.config.mirror_segment
+        expected = self.machine.network.transfer_time(
+            self.my_node, node_id, blob.nominal_bytes
+        )
+        remote_segments = ctx.world.contexts[neighbor_rank].segments
+        stage = min(len(blob.data), ctx.segment(seg_id).size)
+        if seg_id not in remote_segments or stage == 0:
+            yield Sleep(expected)
+            return True
+        view = ctx.segment_view(seg_id, np.uint8, 0, stage)
+        view[:] = np.frombuffer(blob.data, dtype=np.uint8, count=stage)
+        chunk = max(1, (stage + 7) // 8)
+        entries = []
+        off = 0
+        while off < stage:
+            n = min(chunk, stage - off)
+            entries.append((seg_id, off, n, seg_id, off))
+            off += n
+        ret = ctx.write_list(entries, neighbor_rank,
+                             queue_id=self._mirror_queue,
+                             modeled_bytes=blob.nominal_bytes)
+        if ret is not ReturnCode.SUCCESS:  # queue full: model the copy
+            yield Sleep(expected)
+            return True
+        ret = yield from ctx.wait(self._mirror_queue,
+                                  timeout=expected * 1.5 + 1.0)
+        if ret is ReturnCode.TIMEOUT:
+            ctx.queue_purge(self._mirror_queue)
+            return False
+        return True
+
     def _helper_loop(self):
         """The library thread of Fig. 2: waits for signals, mirrors blobs."""
         while True:
@@ -182,17 +241,19 @@ class CheckpointLib:
                 return
             key, blob, mirrored = job
             copied = False
+            neighbor_rank = self.neighbor_rank
             node_id = self.neighbor_node
             t0 = self.ctx.now
             if node_id is not None:
-                yield Sleep(
-                    self.machine.network.transfer_time(self.my_node, node_id, blob.nominal_bytes)
+                delivered = yield from self._mirror_transfer(
+                    neighbor_rank, node_id, blob
                 )
                 # re-read placement: a recovery may have changed the neighbor
                 # while the copy was in flight; the blob still lands where
                 # the transfer was headed if that node survived.
                 store = self._store_of_node(node_id)
-                if store.available and self.machine.network.reachable(self.my_node, node_id):
+                if (delivered and store.available
+                        and self.machine.network.reachable(self.my_node, node_id)):
                     store.put(key, blob)
                     self._prune(store)
                     self.stats["neighbor_copies"] += 1

@@ -65,7 +65,7 @@ class FluidLink:
 
     def _reschedule(self) -> None:
         if self._timer is not None:
-            self._timer.cancel()
+            self.sim.cancel(self._timer)
             self._timer = None
         if not self._active:
             return

@@ -96,3 +96,20 @@ class Network:
         if self.params.jitter and self._rng is not None:
             base *= 1.0 + self.params.jitter * (2.0 * self._rng.random() - 1.0)
         return base
+
+    def transfer_time_list(self, node_a: int, node_b: int, sizes) -> float:
+        """Vectorized cost of a batched (``write_list``-style) transfer.
+
+        The batch moves as *one* fabric operation: a single per-message
+        overhead, a single wire latency, and a sum-of-bytes bandwidth term.
+        This is the whole point of coalescing — N messages no longer pay N
+        overheads and N latencies.
+        """
+        base = (
+            self.params.per_message_overhead
+            + self.topology.latency(node_a, node_b)
+            + sum(sizes) / self.topology.bandwidth(node_a, node_b)
+        )
+        if self.params.jitter and self._rng is not None:
+            base *= 1.0 + self.params.jitter * (2.0 * self._rng.random() - 1.0)
+        return base

@@ -23,10 +23,26 @@ All completions are :class:`repro.sim.Event` objects carrying
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.sim import Channel, Event, Simulator
 from repro.cluster.network import Network
+
+
+class _DoorbellBatch:
+    """Same-tick RDMA ops coalesced behind one doorbell ring.
+
+    Ops posted by a source to the same doorbell key within one simulated
+    tick share a single completion timer (the max completion time across
+    the batch) — the DES analogue of writing N descriptors and ringing the
+    NIC doorbell once.
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self) -> None:
+        #: (dst, completion_time, apply_fn, done_event)
+        self.ops: List[Tuple[int, float, Callable[[], Any], Event]] = []
 
 
 @dataclass
@@ -92,8 +108,18 @@ class Transport:
         #: per-source set of targets whose channel is known broken
         self._broken: Dict[int, Set[int]] = {}
         self._kill_handler: Optional[Callable[[int], None]] = None
-        # counters for tests/benchmarks
-        self.stats: Dict[str, int] = {"rdma": 0, "ping": 0, "control": 0, "kill": 0}
+        #: open same-tick doorbell batches, keyed by (src, doorbell key)
+        self._doorbells: Dict[Tuple[int, Any], _DoorbellBatch] = {}
+        # counters for tests/benchmarks; "rdma" counts fabric operations,
+        # "rdma_writes" the constituent writes they carry (batching shrinks
+        # the former, never the latter).
+        self.stats: Dict[str, int] = {
+            "rdma": 0,
+            "rdma_writes": 0,
+            "ping": 0,
+            "control": 0,
+            "kill": 0,
+        }
 
     # ------------------------------------------------------------------
     # wiring
@@ -149,6 +175,7 @@ class Transport:
         returned event never fires (the initiator's queue sees timeouts).
         """
         self.stats["rdma"] += 1
+        self.stats["rdma_writes"] += 1
         done = Event(name=f"rdma:{src}->{dst}")
         lat = self._latency(src, dst, nbytes)
         ack = self._ack_latency(src, dst)
@@ -160,6 +187,75 @@ class Transport:
             self.sim.schedule(ack, lambda: done.succeed((True, result)))
 
         self.sim.schedule(lat, deliver)
+        return done
+
+    def post_rdma_list(
+        self,
+        src: int,
+        dst: int,
+        sizes: Sequence[int],
+        apply_fn: Callable[[], Any],
+        doorbell: Any = None,
+        n_writes: Optional[int] = None,
+    ) -> Event:
+        """Batched one-sided operation: N writes to one target as a single
+        simulated transfer (``gaspi_write_list`` semantics).
+
+        The time model is vectorized — one latency plus a sum-of-bytes
+        bandwidth term (:meth:`Network.transfer_time_list`).  ``apply_fn``
+        applies *all* writes of the batch atomically; the wire guarantees no
+        interleaving within one list operation.
+
+        With ``doorbell`` set (typically the GASPI queue id), ops posted by
+        ``src`` to the same doorbell key within the same simulated tick are
+        coalesced onto a single completion timer firing at the batch's max
+        completion time.  Data then lands at completion (latency + ack)
+        rather than at bare latency, and the path is re-checked per op at
+        that moment — slightly *more* conservative than the sequential
+        path: a target dying anywhere before completion hangs the op.
+        """
+        self.stats["rdma"] += 1
+        self.stats["rdma_writes"] += len(sizes) if n_writes is None else n_writes
+        done = Event(name=f"rdma_list:{src}->{dst}")
+        a, b = self._endpoints[src], self._endpoints[dst]
+        lat = self.network.transfer_time_list(a.node_id, b.node_id, sizes)
+        ack = self._ack_latency(src, dst)
+
+        if doorbell is None:
+            def deliver() -> None:
+                if not self._path_up(src, dst):
+                    return  # hangs, like post_rdma
+                result = apply_fn()
+                self.sim.schedule(ack, lambda: done.succeed((True, result)))
+
+            self.sim.schedule(lat, deliver)
+            return done
+
+        key = (src, doorbell)
+        batch = self._doorbells.get(key)
+        if batch is None:
+            batch = _DoorbellBatch()
+            self._doorbells[key] = batch
+
+            def seal() -> None:
+                # End of the tick: close the batch and ring the doorbell —
+                # one timer at the slowest op's completion time.
+                if self._doorbells.get(key) is batch:
+                    del self._doorbells[key]
+                ops = batch.ops
+                t_max = max(op[1] for op in ops)
+
+                def ring() -> None:
+                    for dst_i, _tc, apply_i, done_i in ops:
+                        if not self._path_up(src, dst_i):
+                            continue  # this op hangs; the rest proceed
+                        result = apply_i()
+                        done_i.succeed((True, result))
+
+                self.sim.schedule(t_max, ring)
+
+            self.sim.schedule(0.0, seal)
+        batch.ops.append((dst, lat + ack, apply_fn, done))
         return done
 
     # ------------------------------------------------------------------
@@ -197,6 +293,89 @@ class Transport:
 
         self.sim.schedule(rtt, resolve)
         return done
+
+    def post_ping_sweep(
+        self, src: int, targets: Sequence[int], width: int = 1
+    ) -> Event:
+        """Probe a whole round of targets as one batched sweep.
+
+        Semantically identical to issuing :meth:`post_ping` per target with
+        at most ``width`` probes in flight (the FD's ``fd_threads`` knob),
+        but the entire sweep is driven by transport-internal callbacks: the
+        caller blocks once on the returned event instead of once per probe.
+
+        Completes ``(True, results)`` where ``results`` is a list, in
+        ``targets`` order, of ``(target, alive, t_start, t_end)`` tuples —
+        the virtual start/resolve times each probe would have seen on the
+        sequential path (known-broken fast-fails, live-target RTTs, and the
+        ``error_timeout`` wait for newly dead targets all preserved).
+        """
+        self.stats["ping"] += len(targets)
+        done = Event(name=f"pingsweep:{src}")
+        targets = list(targets)
+        n = len(targets)
+        width = max(1, int(width))
+        out: List[Optional[Tuple[int, bool, float, float]]] = [None] * n
+        p = self.params
+
+        def start_group(idx: int) -> None:
+            if idx >= n:
+                done.succeed((True, out))
+                return
+            group_end = min(idx + width, n)
+            remaining = group_end - idx
+
+            def finish_one() -> None:
+                nonlocal remaining
+                remaining -= 1
+                if remaining == 0:
+                    start_group(group_end)
+
+            t0 = self.sim.now
+            for i in range(idx, group_end):
+                self._sweep_probe(src, targets[i], i, t0, out, finish_one)
+
+        start_group(0)
+        return done
+
+    def _sweep_probe(
+        self,
+        src: int,
+        dst: int,
+        i: int,
+        t0: float,
+        out: List[Optional[Tuple[int, bool, float, float]]],
+        finish: Callable[[], None],
+    ) -> None:
+        """One probe of a sweep; mirrors :meth:`post_ping` exactly."""
+        p = self.params
+        if dst in self._broken[src]:
+            def fast_fail() -> None:
+                out[i] = (dst, False, t0, self.sim.now)
+                finish()
+
+            self.sim.schedule(p.fast_fail, fast_fail)
+            return
+        rtt = (
+            p.ping_overhead
+            + self._latency(src, dst, p.small_message)
+            + self._ack_latency(src, dst)
+        )
+
+        def resolve() -> None:
+            if self._path_up(src, dst):
+                out[i] = (dst, True, t0, self.sim.now)
+                finish()
+            else:
+                self._broken[src].add(dst)
+
+                def fail() -> None:
+                    out[i] = (dst, False, t0, self.sim.now)
+                    finish()
+
+                self.sim.schedule(max(0.0, p.error_timeout - rtt), fail)
+
+        self.sim.schedule(rtt, resolve)
 
     def forget_broken(self, src: int, dst: Optional[int] = None) -> None:
         """Clear the broken-channel cache (e.g. after link repair)."""

@@ -44,7 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.sim import Sleep, WaitEvent
+from repro.sim import Sleep
 from repro.gaspi.constants import GASPI_TEST, ReturnCode
 from repro.gaspi.context import GaspiContext
 from repro.ft.config import FTConfig
@@ -84,23 +84,27 @@ class FDStats:
 def scan_once(ctx: GaspiContext, targets: List[int], fd_threads: int = 1):
     """Generator: ping every target; returns the list that failed.
 
-    Pings are issued in batches of ``fd_threads``; within a batch they run
-    concurrently (the threaded-FD behaviour), between batches sequentially.
+    The whole round runs as **one** batched probe sweep
+    (:meth:`GaspiContext.proc_ping_sweep`): pings still go out in groups
+    of ``fd_threads`` — concurrently within a group (the threaded-FD
+    behaviour), sequentially between groups — but the FD process blocks a
+    single time for the round instead of once per target.  Per-ping
+    ``ping`` tracer events are emitted from the sweep's recorded per-probe
+    timings, so observability output is unchanged.
     """
     failed: List[int] = []
+    if not targets:
+        return failed
+    ret, results = yield from ctx.proc_ping_sweep(targets, fd_threads)
+    if ret is not ReturnCode.SUCCESS:
+        return failed
     tracer = ctx.tracer
-    for start in range(0, len(targets), max(1, fd_threads)):
-        batch = targets[start : start + max(1, fd_threads)]
-        events = [(rank, ctx.proc_ping_post(rank)) for rank in batch]
-        for rank, event in events:
-            t0 = ctx.now
-            _, result = yield WaitEvent(event)
-            alive, _ = result
-            if ctx.note_ping_result(rank, alive) is ReturnCode.ERROR:
-                failed.append(rank)
-            if tracer.enabled:
-                tracer.emit(ctx.now, ctx.rank, "ping", dur=ctx.now - t0,
-                            target=rank, alive=bool(alive))
+    for rank, alive, t0, t1 in results:
+        if not alive:
+            failed.append(rank)
+        if tracer.enabled:
+            tracer.emit(t1, ctx.rank, "ping", dur=t1 - t0,
+                        target=rank, alive=bool(alive))
     return failed
 
 

@@ -42,12 +42,27 @@ class CollectiveCosts:
     commit_per_rank: float = 0.027
     commit_base: float = 0.050
 
+    def __post_init__(self) -> None:
+        # collective costs are pure in (p, nbytes); memoize — the spMVM
+        # loop pays one allreduce per iteration with identical arguments.
+        self._barrier_cache: Dict[int, float] = {}
+        self._allreduce_cache: Dict[Tuple[int, int], float] = {}
+
     def barrier(self, p: int) -> float:
-        return max(1, math.ceil(math.log2(max(2, p)))) * self.round_latency
+        cost = self._barrier_cache.get(p)
+        if cost is None:
+            cost = max(1, math.ceil(math.log2(max(2, p)))) * self.round_latency
+            self._barrier_cache[p] = cost
+        return cost
 
     def allreduce(self, p: int, nbytes: int) -> float:
-        rounds = max(1, math.ceil(math.log2(max(2, p))))
-        return rounds * (self.round_latency + nbytes / self.bandwidth)
+        key = (p, nbytes)
+        cost = self._allreduce_cache.get(key)
+        if cost is None:
+            rounds = max(1, math.ceil(math.log2(max(2, p))))
+            cost = rounds * (self.round_latency + nbytes / self.bandwidth)
+            self._allreduce_cache[key] = cost
+        return cost
 
     def commit(self, p: int) -> float:
         return self.commit_base + self.commit_per_rank * p
@@ -118,7 +133,9 @@ class CollectiveEngine:
 
         event = inst.events.get(rank)
         if event is None:
-            event = Event(name=f"{kind}:{group_identity}:{seq}:{rank}")
+            # unnamed: formatting a per-arrival name is measurable on the
+            # once-per-iteration allreduce path and only aids debugging
+            event = Event()
             inst.events[rank] = event
         if rank not in inst.arrived:
             inst.arrived[rank] = contribution
@@ -146,6 +163,12 @@ class CollectiveEngine:
         """Number of collective instances still waiting for members."""
         return len(self._instances)
 
+    _finishers: Dict[AllreduceOp, Callable] = {}
+
     @staticmethod
     def reduce_finisher(op: AllreduceOp) -> Callable[[List[np.ndarray]], np.ndarray]:
-        return lambda contributions: _reduce(op, contributions)
+        fin = CollectiveEngine._finishers.get(op)
+        if fin is None:
+            fin = lambda contributions: _reduce(op, contributions)
+            CollectiveEngine._finishers[op] = fin
+        return fin

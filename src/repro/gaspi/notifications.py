@@ -50,14 +50,40 @@ class NotificationBoard:
         self.values[notification_id] = value
         self._wake(notification_id)
 
+    def post_many(self, notifications: List[Tuple[int, int]]) -> None:
+        """Land a batch of ``(id, value)`` flags in one operation.
+
+        The batch is applied in ascending id order — matching
+        ``gaspi_write_list_notify``, whose constituent notifications become
+        visible as one ordered group — and waiters are woken once, after
+        the whole batch is in place, instead of once per flag.
+        """
+        for notification_id, value in notifications:
+            self.check_id(notification_id)
+            if value == 0:
+                raise GaspiUsageError("notification value must be non-zero")
+        for notification_id, value in sorted(notifications):
+            self.values[notification_id] = value
+        if self._waiters:
+            for notification_id, _value in sorted(notifications):
+                self._wake(notification_id)
+                if not self._waiters:
+                    break
+
     def _wake(self, notification_id: int) -> None:
-        still_waiting: List[Tuple[int, int, Event]] = []
-        for first, num, event in self._waiters:
-            if first <= notification_id < first + num:
-                event.succeed(notification_id)
-            else:
-                still_waiting.append((first, num, event))
-        self._waiters = still_waiting
+        # Detach matching waiters *before* firing them: events resume their
+        # waiters inline, and a resumed process may subscribe again for the
+        # same span right away — appending to a list still being iterated
+        # would wake (and re-wake) the new subscription forever.
+        waiters = self._waiters
+        fired = [w for w in waiters
+                 if w[0] <= notification_id < w[0] + w[1]]
+        if not fired:
+            return
+        self._waiters = [w for w in waiters
+                         if not (w[0] <= notification_id < w[0] + w[1])]
+        for _first, _num, event in fired:
+            event.succeed(notification_id)
 
     # ------------------------------------------------------------------
     # consumer side
@@ -85,4 +111,20 @@ class NotificationBoard:
         self.check_id(notification_id)
         old = int(self.values[notification_id])
         self.values[notification_id] = 0
+        return old
+
+    def reset_many(self, notification_ids) -> List[int]:
+        """Consume a batch of slots in one operation.
+
+        Returns the old values in the order the ids were given.  Vectorized
+        counterpart of calling :meth:`reset` per id — one bounds check pass,
+        one fancy-indexed clear.
+        """
+        ids = np.asarray(list(notification_ids), dtype=np.intp)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.n_slots):
+            raise GaspiUsageError(
+                f"notification id outside [0, {self.n_slots}) in batch reset"
+            )
+        old = self.values[ids].astype(int).tolist()
+        self.values[ids] = 0
         return old

@@ -60,5 +60,33 @@ class Queue:
         self._reap()
         return list(self._outstanding)
 
+    def drain_event(self) -> "Event | None":
+        """One event firing when everything outstanding *now* completes.
+
+        Returns ``None`` when the queue is already drained (the flush fast
+        path: no blocking needed at all), the lone completion event when a
+        single op is pending, or an aggregate event counting down the
+        snapshot otherwise.  A ``wait`` built on this blocks **once** per
+        flush instead of once per op.
+        """
+        self._reap()
+        pending = self._outstanding
+        if not pending:
+            return None
+        if len(pending) == 1:
+            return pending[0]
+        drained = Event(name=f"q{self.queue_id}.drain")
+        remaining = len(pending)
+
+        def _one_done(_value) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                drained.succeed(None)
+
+        for ev in pending:
+            ev.add_callback(_one_done)
+        return drained
+
     def _reap(self) -> None:
         self._outstanding = [ev for ev in self._outstanding if not ev.fired]

@@ -22,8 +22,9 @@ calibration notes recommend.
 Metric naming convention: ``*_eps`` are events (or operations) per
 second, ``*_mflops`` are MFLOP/s, ``*_mb_s`` are MB/s,
 ``sweep_parallel_speedup`` is a dimensionless parallel-over-serial
-ratio, and ``*_wall_s`` are wall-clock seconds (the only
-lower-is-better family).
+ratio, ``*_wall_s`` are wall-clock seconds and ``sim_events_per_spmv``
+is a simulated-event count per iteration (wall times and the metrics in
+``LOWER_IS_BETTER`` are the lower-is-better families).
 """
 
 from __future__ import annotations
@@ -38,12 +39,20 @@ from typing import Callable, Dict, List, Optional
 BENCH_FILE = "BENCH_core.json"
 SCHEMA_VERSION = 1
 
-#: acceptance thresholds tracked by the CI smoke job (see ISSUES 1-2)
+#: acceptance thresholds tracked by the CI smoke job (see ISSUES 1-2, 4)
 TARGET_SPEEDUP = {
     "des_event_throughput_eps": 2.0,
     "spmv_graphene_mflops": 1.5,
     "ckpt_pack_mb_s": 3.0,
+    "event_chain_eps": 1.3,
+    "channel_pingpong_eps": 1.3,
+    "sim_events_per_spmv": 3.0,
+    "figure4_small_wall_s": 1.5,
 }
+
+#: metrics where smaller numbers are better (besides ``*_wall_s``);
+#: ``_speedup`` inverts their improvement ratio so > 1.0 means better
+LOWER_IS_BETTER = {"sim_events_per_spmv"}
 
 #: ``--check`` fails when a metric regresses more than this fraction
 #: against the committed ``current`` values (CI smoke guard)
@@ -170,6 +179,75 @@ def bench_channel_pingpong(n: int = 10_000) -> float:
     sim.run()
     dt = time.perf_counter() - t0
     return n / dt
+
+
+# ----------------------------------------------------------------------
+# communication-layer benches (ISSUE 4: batched one-sided fast path)
+# ----------------------------------------------------------------------
+def bench_sim_events_per_spmv(n_ranks: int = 8) -> float:
+    """Scheduled kernel entries per spMVM iteration at 8 ranks.
+
+    Lower is better: this is the event-count collapse the batched
+    ``write_list_notify`` path delivers.  Measured as the difference
+    quotient between a 40- and a 10-iteration run, so setup costs cancel;
+    the value is deterministic (a count, not a timing).
+    """
+    import numpy as np
+    from repro.gaspi import run_gaspi
+    from repro.spmvm import SpMVMEngine, Team, distribute_matrix
+    from repro.spmvm.matgen import RandomSparse
+    from repro.spmvm.partition import RowPartition
+
+    gen = RandomSparse(n_ranks * 24, nnz_per_row=12, seed=1)
+    partition = RowPartition(gen.n_rows, n_ranks)
+
+    def count_for(iterations: int) -> int:
+        sims = []
+
+        def main(ctx):
+            team = Team.trivial(ctx)
+            dmat = yield from distribute_matrix(team, gen)
+            engine = yield from SpMVMEngine.create(team, dmat)
+            r0, r1 = partition.range_of(ctx.rank)
+            x = np.ones(r1 - r0)
+            if ctx.rank == 0:
+                sims.append(ctx.world.sim)
+            for it in range(iterations):
+                x = yield from engine.multiply(x, tag=it)
+            return x
+
+        run_gaspi(main, n_ranks=n_ranks)
+        return sims[0].scheduled_count
+
+    lo, hi = 10, 40
+    return (count_for(hi) - count_for(lo)) / (hi - lo)
+
+
+def bench_fd_ping_round(n_ranks: int = 33, rounds: int = 400) -> float:
+    """FD probe throughput: pings per wall-second over full scan rounds.
+
+    One rank sweeps all 32 others ``rounds`` times via ``scan_once`` —
+    the detector's hot loop, now one batched sweep per round.  Only the
+    scan loop is timed (the 33-rank world setup would otherwise dominate
+    and drown the measurement in noise).
+    """
+    from repro.gaspi import run_gaspi
+    from repro.ft.detector import scan_once
+
+    wall = [0.0]
+
+    def main(ctx):
+        if ctx.rank != n_ranks - 1:
+            return
+        targets = [r for r in range(n_ranks) if r != ctx.rank]
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            failed = yield from scan_once(ctx, targets, 1)
+            assert not failed
+        wall[0] = time.perf_counter() - t0
+
+    run_gaspi(main, n_ranks=n_ranks)
+    return (n_ranks - 1) * rounds / wall[0]
 
 
 # ----------------------------------------------------------------------
@@ -305,6 +383,8 @@ def run_benches(quick: bool = False, repeats: int = 5) -> Dict[str, float]:
     metrics["process_switch_eps"] = _best(bench_process_switch, repeats)
     metrics["zero_delay_resume_eps"] = _best(bench_zero_delay_resume, repeats)
     metrics["channel_pingpong_eps"] = _best(bench_channel_pingpong, repeats)
+    metrics["sim_events_per_spmv"] = bench_sim_events_per_spmv()
+    metrics["fd_ping_round_eps"] = _best(bench_fd_ping_round, max(2, repeats // 2))
     metrics["spmv_graphene_mflops"] = _best(bench_spmv_graphene, repeats)
     metrics["spmv_laplacian_mflops"] = _best(bench_spmv_laplacian, repeats)
     metrics["lanczos_seq_wall_s"] = min(
@@ -329,7 +409,8 @@ def _speedup(seed: Dict[str, float], cur: Dict[str, float]) -> Dict[str, float]:
         old = seed.get(key)
         if not old or not new:
             continue
-        ratio = old / new if key.endswith("_wall_s") else new / old
+        lower_better = key.endswith("_wall_s") or key in LOWER_IS_BETTER
+        ratio = old / new if lower_better else new / old
         out[key] = round(ratio, 3)
     return out
 

@@ -25,7 +25,7 @@ from repro.sim.errors import SimError, DeadProcessError, SimDeadlock
 from repro.sim.events import Event, Sleep, WaitEvent
 from repro.sim.kernel import Simulator, Timer
 from repro.sim.process import Process, ProcessState
-from repro.sim.channel import Channel
+from repro.sim.channel import Channel, ChannelGet
 from repro.sim.rng import RngStreams
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "Sleep",
     "WaitEvent",
     "Channel",
+    "ChannelGet",
     "RngStreams",
     "SimError",
     "DeadProcessError",

@@ -3,6 +3,12 @@
 ``put`` is a plain (non-blocking, unbounded) call; ``get`` is a generator
 helper that blocks until an item arrives or the timeout elapses.  Items are
 delivered in FIFO order to getters in FIFO order.
+
+Blocking takes are kernel-integrated: ``get`` yields a :class:`ChannelGet`
+request and the kernel parks the process as a :class:`_ChannelWaiter`
+record directly on the channel — no per-get :class:`Event` allocation, no
+callback indirection.  ``put`` wakes the oldest waiter by stepping its
+process inline, exactly like an event firing would have.
 """
 
 from __future__ import annotations
@@ -10,7 +16,67 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional, Tuple
 
-from repro.sim.events import Event, WaitEvent
+
+class ChannelGet:
+    """Yieldable request: take the next item from a channel.
+
+    Resumes the process with ``(True, item)`` when an item arrives, or
+    ``(False, None)`` when ``timeout`` elapses first.  Application code
+    uses :meth:`Channel.get`; this request is its kernel-facing half.
+    """
+
+    __slots__ = ("channel", "timeout")
+
+    def __init__(self, channel: "Channel", timeout: Optional[float] = None) -> None:
+        self.channel = channel
+        self.timeout = timeout
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChannelGet({self.channel.name!r}, timeout={self.timeout})"
+
+
+class _ChannelWaiter:
+    """One blocked getter: its process, channel slot and optional timeout.
+
+    Mirrors the kernel's ``_EventWaiter`` record: ``wake`` is called by
+    ``put`` (item handed over, timeout cancelled), ``_on_timeout`` by the
+    timeout timer (reservation withdrawn — an item can never be lost to an
+    abandoned getter because ``put`` only hands items to waiters it pops
+    from the deque), and ``cancel`` by process teardown.
+    """
+
+    __slots__ = ("sim", "proc", "channel", "timer")
+
+    def __init__(self, sim, proc, channel: "Channel") -> None:
+        self.sim = sim
+        self.proc = proc
+        self.channel = channel
+        self.timer = None
+
+    def wake(self, item: Any) -> None:
+        """An item arrived first: cancel the timeout, resume the getter."""
+        timer = self.timer
+        if timer is not None:
+            self.sim._cancel_entry(timer)
+        self.sim._step(self.proc, (True, item))
+
+    def _on_timeout(self) -> None:
+        """The timeout fired first: withdraw the reservation, resume."""
+        try:
+            self.channel._getters.remove(self)
+        except ValueError:  # pragma: no cover - already handed an item
+            return
+        self.sim._step(self.proc, (False, None))
+
+    def cancel(self) -> None:
+        """Deregister everything (the process was killed)."""
+        try:
+            self.channel._getters.remove(self)
+        except ValueError:
+            pass
+        timer = self.timer
+        if timer is not None:
+            self.sim._cancel_entry(timer)
 
 
 class Channel:
@@ -21,7 +87,7 @@ class Channel:
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._items: Deque[Any] = deque()
-        self._getters: Deque[Event] = deque()
+        self._getters: Deque[_ChannelWaiter] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -29,7 +95,7 @@ class Channel:
     def put(self, item: Any) -> None:
         """Enqueue ``item``, waking the oldest waiting getter if any."""
         if self._getters:
-            self._getters.popleft().succeed(item)
+            self._getters.popleft().wake(item)
         else:
             self._items.append(item)
 
@@ -44,19 +110,12 @@ class Channel:
 
         Usage: ``ok, item = yield from chan.get(timeout)``.  On timeout the
         pending reservation is withdrawn, so no item is ever lost to an
-        abandoned getter.
+        abandoned getter.  A zero timeout is a pure poll: it returns
+        ``(False, None)`` immediately without yielding to the kernel.
         """
         if self._items:
             return True, self._items.popleft()
-        ev = Event(name=f"{self.name}.get")
-        self._getters.append(ev)
-        ok, item = yield WaitEvent(ev, timeout)
-        if not ok:
-            # Withdraw the reservation; the event cannot fire afterwards
-            # because put() only fires events it pops from this deque.
-            try:
-                self._getters.remove(ev)
-            except ValueError:  # pragma: no cover - fired at the same instant
-                pass
+        if timeout == 0:
             return False, None
-        return True, item
+        ok, item = yield ChannelGet(self, timeout)
+        return ok, item

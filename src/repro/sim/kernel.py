@@ -9,11 +9,15 @@ Performance architecture (this module is the hottest loop in the repo —
 every paper-scale experiment replays millions of events through it):
 
 * **C-comparable heap entries.**  Heap entries are plain Python lists
-  ``[time, seq, fn, proc, value]`` (the public :class:`Timer` handle is a
-  ``list`` subclass with the same layout plus a kernel back-reference), so
-  every ``heapq`` sift uses CPython's C list comparison instead of a
-  Python-level ``__lt__`` — ``(time, seq)`` is compared element-wise and
-  the unique ``seq`` guarantees later fields are never reached.
+  ``[time, seq, fn, proc, value]`` — including the handles ``schedule``
+  returns (cancel one with :meth:`Simulator.cancel`; a ``list`` subclass
+  handle would cost ~3x a literal to allocate).  Every ``heapq`` sift
+  uses CPython's C list comparison instead of a Python-level ``__lt__``
+  — ``(time, seq)`` is compared element-wise and the unique ``seq``
+  guarantees later fields are never reached.  Where the new entry is
+  known to carry the largest ``seq`` yet issued, the kernel compares
+  bare times instead of whole entries: ``other[0] <= new[0]`` is then
+  exactly ``other < new``.
 * **Same-timestamp FIFO run-queue.**  Zero-delay schedules (process
   spawns, resumes on already-fired events, zero-delay callbacks) are
   appended to a deque instead of the heap.  Because ``now`` never
@@ -21,6 +25,13 @@ every paper-scale experiment replays millions of events through it):
   ``time == now`` and strictly increasing ``seq``, so FIFO order *is*
   ``(time, seq)`` order; the dispatch loop merges the run-queue head with
   the heap top to preserve the exact seed total order bit-for-bit.
+* **Next-event cache.**  The globally earliest delayed entry is held in
+  the ``_next`` slot *outside* the heap (invariant: ``_next`` precedes
+  every heap entry in ``(time, seq)`` order).  Workloads whose timers
+  mostly dispatch in schedule order — timer chains, lock-step transfers,
+  the FD scan — never touch ``heapq`` at all: schedule fills the slot,
+  dispatch empties it.  Only an out-of-order schedule demotes the cached
+  entry into the heap.
 * **Dispatch records instead of closures.**  Process steps are encoded in
   the entry itself (``fn is None`` → resume ``proc`` with ``value``), so
   stepping a process allocates one small list — no lambda, no bound
@@ -35,10 +46,10 @@ from __future__ import annotations
 
 from collections import deque
 from heapq import heapify, heappop, heappush
-from itertools import count
 from typing import Any, Callable, Generator, Iterator, List, Optional, Union
 
 from repro.obs.tracer import NULL_TRACER
+from repro.sim.channel import ChannelGet, _ChannelWaiter
 from repro.sim.errors import SimDeadlock, SimError
 from repro.sim.events import Event, Sleep, WaitEvent
 from repro.sim.process import Process, ProcessState
@@ -47,38 +58,11 @@ from repro.sim.process import Process, ProcessState
 _COMPACT_MIN_DEAD = 64
 
 
-class Timer(list):
-    """Handle for a scheduled callback; supports lazy cancellation.
-
-    A :class:`Timer` *is* its own heap entry: a list laid out as
-    ``[time, seq, fn, proc, value, sim]``.  Cancellation nulls the
-    dispatch fields (``fn``/``proc``) and leaves the entry in place for
-    the kernel to skip (or compact away) later.
-    """
-
-    __slots__ = ()
-
-    def cancel(self) -> None:
-        """Prevent the callback from running (safe to call repeatedly)."""
-        if self[2] is None and self[3] is None:
-            return
-        self[2] = None
-        self[3] = None
-        sim = self[5]
-        if sim is not None:
-            sim._note_cancelled()
-
-    @property
-    def time(self) -> float:
-        return self[0]
-
-    @property
-    def seq(self) -> int:
-        return self[1]
-
-    @property
-    def cancelled(self) -> bool:
-        return self[2] is None and self[3] is None
+#: A timer handle *is* its heap entry: a plain list ``[time, seq, fn,
+#: proc, value]``.  Cancel one with :meth:`Simulator.cancel` — it nulls
+#: the dispatch fields and leaves the entry for the kernel to skip (or
+#: compact away) later.  The alias exists for annotations and imports.
+Timer = list
 
 
 class TraceView:
@@ -146,7 +130,7 @@ class _EventWaiter:
         """The event fired first: cancel the timeout, resume the waiter."""
         timer = self.timer
         if timer is not None:
-            timer.cancel()
+            self.sim._cancel_entry(timer)
         self.sim._step(self.proc, (True, event.value))
 
     def _on_timeout(self) -> None:
@@ -159,7 +143,7 @@ class _EventWaiter:
         self.event.discard_callback(self)
         timer = self.timer
         if timer is not None:
-            timer.cancel()
+            self.sim._cancel_entry(timer)
 
 
 class Simulator:
@@ -169,7 +153,9 @@ class Simulator:
         self.now: float = 0.0
         self._heap: List[list] = []
         self._runq: deque = deque()
-        self._seq = count()
+        #: next-event cache: the earliest delayed entry, held out of the heap
+        self._next: Optional[list] = None
+        self._seq: int = 0
         self._n_cancelled: int = 0
         self._processes: List[Process] = []
         self._trace: Optional[List[tuple]] = None
@@ -182,13 +168,32 @@ class Simulator:
     # scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[[], None]) -> Timer:
-        """Run ``fn()`` after ``delay`` virtual seconds; returns a handle."""
+        """Run ``fn()`` after ``delay`` virtual seconds; returns a handle.
+
+        The handle is the heap entry itself; pass it to :meth:`cancel` to
+        prevent the callback from running.
+        """
         if delay < 0:
             raise SimError(f"cannot schedule in the past (delay={delay})")
-        timer = Timer((self.now + delay, next(self._seq), fn, None, None,
-                       self))
+        seq = self._seq
+        self._seq = seq + 1
+        time = self.now + delay
+        timer = [time, seq, fn, None, None]
         if delay == 0.0:
             self._runq.append(timer)
+            return timer
+        # ``timer`` holds the largest seq yet, so bare-time comparisons
+        # are exact (ties resolve in favour of the older entry).
+        nxt = self._next
+        if nxt is None:
+            heap = self._heap
+            if heap and heap[0][0] <= time:
+                heappush(heap, timer)
+            else:
+                self._next = timer
+        elif time < nxt[0]:
+            heappush(self._heap, nxt)
+            self._next = timer
         else:
             heappush(self._heap, timer)
         return timer
@@ -201,14 +206,46 @@ class Simulator:
             )
         return self.schedule(time - self.now, fn)
 
+    def cancel(self, timer: Timer) -> None:
+        """Prevent a scheduled callback/resume (safe to call repeatedly)."""
+        if timer[2] is not None or timer[3] is not None:
+            timer[2] = None
+            timer[3] = None
+            self._note_cancelled()
+
     def _schedule_step(self, delay: float, proc: Process, value: Any) -> list:
         """Kernel-internal: queue a process resume (one list, no closure)."""
-        entry = [self.now + delay, next(self._seq), None, proc, value]
+        seq = self._seq
+        self._seq = seq + 1
+        time = self.now + delay
+        entry = [time, seq, None, proc, value]
         if delay == 0.0:
             self._runq.append(entry)
+            return entry
+        nxt = self._next
+        if nxt is None:
+            heap = self._heap
+            if heap and heap[0][0] <= time:
+                heappush(heap, entry)
+            else:
+                self._next = entry
+        elif time < nxt[0]:
+            heappush(self._heap, nxt)
+            self._next = entry
         else:
             heappush(self._heap, entry)
         return entry
+
+    @property
+    def scheduled_count(self) -> int:
+        """Total entries ever scheduled (timers + process resumes).
+
+        The event-cost counter behind the ``sim_events_per_spmv`` bench
+        metric: every `schedule`/`_schedule_step` call consumes exactly one
+        sequence number, so differences of this counter measure how much
+        kernel traffic a code path generates.
+        """
+        return self._seq
 
     # ------------------------------------------------------------------
     # lazy-cancel bookkeeping
@@ -220,12 +257,8 @@ class Simulator:
         if n >= _COMPACT_MIN_DEAD and 2 * n >= len(self._heap):
             self._compact()
 
-    def _cancel_entry(self, entry: list) -> None:
-        """Cancel a kernel-internal step entry (see :meth:`Timer.cancel`)."""
-        if entry[2] is not None or entry[3] is not None:
-            entry[2] = None
-            entry[3] = None
-            self._note_cancelled()
+    # kernel-internal alias (step entries and timers share one layout)
+    _cancel_entry = cancel
 
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify (order is unaffected)."""
@@ -301,13 +334,25 @@ class Simulator:
         step = self._step
         if until is None:
             # Tight path: no deadline checks inside the dispatch loop.
+            # ``_next`` (when set) precedes every heap entry, so the merge
+            # only ever compares the run-queue head against one candidate.
             while True:
+                nxt = self._next
                 if runq:
                     timer = runq[0]
-                    if heap and heap[0] < timer:
+                    if nxt is not None:
+                        if nxt < timer:
+                            timer = nxt
+                            self._next = None
+                        else:
+                            runq.popleft()
+                    elif heap and heap[0] < timer:
                         timer = heappop(heap)
                     else:
                         runq.popleft()
+                elif nxt is not None:
+                    timer = nxt
+                    self._next = None
                 elif heap:
                     timer = heappop(heap)
                 else:
@@ -324,28 +369,44 @@ class Simulator:
         else:
             while True:
                 # Peek (don't pop) so a too-late timer stays queued.
+                # source: 0 = run-queue head, 1 = ``_next`` slot, 2 = heap.
+                nxt = self._next
                 if runq:
                     timer = runq[0]
-                    in_heap = False
-                    if heap and heap[0] < timer:
+                    source = 0
+                    if nxt is not None:
+                        if nxt < timer:
+                            timer = nxt
+                            source = 1
+                    elif heap and heap[0] < timer:
                         timer = heap[0]
-                        in_heap = True
+                        source = 2
+                elif nxt is not None:
+                    timer = nxt
+                    source = 1
                 elif heap:
                     timer = heap[0]
-                    in_heap = True
+                    source = 2
                 else:
                     break
                 if timer[2] is None and timer[3] is None:
-                    heappop(heap) if in_heap else runq.popleft()
+                    if source == 0:
+                        runq.popleft()
+                    elif source == 1:
+                        self._next = None
+                    else:
+                        heappop(heap)
                     self._drop_dead()
                     continue
                 if timer[0] > until:
                     self.now = until
                     return self.now
-                if in_heap:
-                    heappop(heap)
-                else:
+                if source == 0:
                     runq.popleft()
+                elif source == 1:
+                    self._next = None
+                else:
+                    heappop(heap)
                 self.now = timer[0]
                 fn = timer[2]
                 if fn is not None:
@@ -367,12 +428,22 @@ class Simulator:
         heap = self._heap
         runq = self._runq
         while ran < n:
+            nxt = self._next
             if runq:
                 timer = runq[0]
-                if heap and heap[0] < timer:
+                if nxt is not None:
+                    if nxt < timer:
+                        timer = nxt
+                        self._next = None
+                    else:
+                        runq.popleft()
+                elif heap and heap[0] < timer:
                     timer = heappop(heap)
                 else:
                     runq.popleft()
+            elif nxt is not None:
+                timer = nxt
+                self._next = None
             elif heap:
                 timer = heappop(heap)
             else:
@@ -415,6 +486,8 @@ class Simulator:
             proc._cleanup = self._schedule_step(request.dt, proc, None)
         elif cls is WaitEvent:
             self._wait_event(proc, request.event, request.timeout)
+        elif cls is ChannelGet:
+            self._wait_channel(proc, request.channel, request.timeout)
         elif cls is Event:
             self._wait_event(proc, request, None)
         elif isinstance(request, Sleep):
@@ -438,6 +511,20 @@ class Simulator:
             return
         waiter = _EventWaiter(self, proc, event)
         event.add_callback(waiter)
+        if timeout is not None:
+            waiter.timer = self.schedule(timeout, waiter._on_timeout)
+        proc._cleanup = waiter
+
+    def _wait_channel(self, proc: Process, channel, timeout: Optional[float]) -> None:
+        """Block ``proc`` on a channel take (no per-get Event allocation)."""
+        proc.state = ProcessState.WAITING
+        items = channel._items
+        if items:
+            # An item landed since the generator's own fast-path check.
+            proc._cleanup = self._schedule_step(0.0, proc, (True, items.popleft()))
+            return
+        waiter = _ChannelWaiter(self, proc, channel)
+        channel._getters.append(waiter)
         if timeout is not None:
             waiter.timer = self.schedule(timeout, waiter._on_timeout)
         proc._cleanup = waiter

@@ -1,9 +1,11 @@
 """The distributed spMVM engine: one-sided halo exchange + local kernel.
 
 Per iteration (paper Sect. V): every owner *pushes* the RHS values its
-requesters need with a single ``gaspi_write_notify`` per requester
-(notification id = provider's logical rank), flushes its queue, then waits
-for its own providers' notifications and runs the local CSR kernel on
+requesters need with a single fused ``gaspi_write_list_notify`` per
+requester (notification id = provider's logical rank) — all pushes of one
+iteration coalesce onto one queue doorbell at the transport — flushes its
+queue with a single aggregate wait, then drains its providers'
+notifications in batches and runs the local CSR kernel on
 ``[own block | halo]``.
 
 Every blocking step is guarded: the failure-acknowledgment hook is checked
@@ -17,11 +19,12 @@ bit-identical and harmless.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 import numpy as np
 
-from repro.sim import Sleep
+from repro.sim import Sleep, WaitEvent
 from repro.gaspi.constants import GASPI_BLOCK, ReturnCode
 from repro.gaspi.errors import GaspiUsageError
 from repro.spmvm.dist_matrix import DistMatrix
@@ -153,7 +156,10 @@ class SpMVMEngine:
         if self.n_local:
             self._x_full[: self.n_local] = x_local
 
-        # push phase: one fused write_notify per requester
+        # push phase: one fused write_list_notify per requester; all posts
+        # of this tick share one transport doorbell (a single completion
+        # timer for the whole push phase)
+        notification_id = self.matrix.logical_rank
         for requester in plan.requesters():
             spec = plan.send[requester]
             if spec.count == 0:
@@ -162,13 +168,12 @@ class SpMVMEngine:
             # gather straight into the staging segment (no temp array)
             np.take(x_local, spec.local_idx,
                     out=self._stage[offset : offset + spec.count])
+            entry = (self.stage_segment, offset * _F8, spec.count * _F8,
+                     self.x_segment, spec.halo_start * _F8)
             while True:
-                ret = ctx.write_notify(
-                    self.stage_segment, offset * _F8, spec.count * _F8,
-                    self.team.to_physical(requester),
-                    self.x_segment, spec.halo_start * _F8,
-                    notification_id=self.matrix.logical_rank,
-                    value=value,
+                ret = ctx.write_list_notify(
+                    (entry,), self.team.to_physical(requester),
+                    self.x_segment, (notification_id, value),
                     queue_id=self.queue_id,
                 )
                 if ret is ReturnCode.SUCCESS:
@@ -176,20 +181,35 @@ class SpMVMEngine:
                 yield from self._flush()  # queue full: drain and repost
         yield from self._flush()
 
-        # receive phase: wait for every provider's notification for this tag
+        # receive phase: drain provider notifications for this tag in
+        # batches — harvest everything already landed in one pass, then
+        # block once on the whole outstanding span
         board = ctx.segment(self.x_segment).notifications
-        for provider in plan.providers():
-            while True:
-                self.guard.assert_healthy()
-                if board.values[provider] == value:
-                    board.reset(provider)
-                    break
-                if board.values[provider] not in (0, value):
-                    board.reset(provider)  # stale tag from before a recovery
-                    continue
-                yield from ctx.notify_waitsome(
-                    self.x_segment, provider, 1, self.comm_timeout
-                )
+        pending = set(plan.providers())
+        values = board.values
+        limit = None if math.isinf(self.comm_timeout) else self.comm_timeout
+        while pending:
+            self.guard.assert_healthy()
+            landed = [p for p in pending if values[p] == value]
+            if landed:
+                ctx.notify_reset_many(self.x_segment, landed)
+                pending.difference_update(landed)
+                continue
+            stale = [p for p in pending if values[p] != 0]
+            if stale:
+                # stale tags from before a recovery: consume and re-check
+                ctx.notify_reset_many(self.x_segment, stale)
+                continue
+            # Every pending slot is zero right now, so the flags we need can
+            # only arrive via future posts: subscribe to the span directly.
+            # (notify_waitsome's pending_in fast path would spin here — an
+            # already-consumed provider that ran ahead leaves its next-tag
+            # flag set inside the span, returning instantly forever.)
+            lo = min(pending)
+            event = board.subscribe(lo, max(pending) - lo + 1)
+            ok, _ = yield WaitEvent(event, limit)
+            if not ok:
+                board.unsubscribe(event)
 
         # local kernel, writing straight into the caller's buffer
         if out is None:

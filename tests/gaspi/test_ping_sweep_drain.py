@@ -1,0 +1,128 @@
+"""Batched FD probe sweeps and the aggregate queue-drain wait."""
+
+import pytest
+
+from repro.cluster import FaultPlan
+from repro.gaspi import HealthState, ReturnCode, run_gaspi
+from repro.sim import Sleep
+
+
+@pytest.mark.parametrize("width", [1, 4])
+def test_sweep_matches_sequential_pings(width):
+    """One sweep over a mixed alive/dead round ≡ one proc_ping per target."""
+    n_ranks = 6
+    dead = {2, 4}
+
+    def main(ctx):
+        if ctx.rank == 0:
+            yield Sleep(1.0)  # let the kills land
+            targets = list(range(1, n_ranks))
+            ret, results = yield from ctx.proc_ping_sweep(targets, width)
+            assert ret is ReturnCode.SUCCESS
+            assert [r for r, _a, _t0, _t1 in results] == targets
+            health = {r: ctx.health_of(r) for r in targets}
+            return ([(r, alive) for r, alive, _t0, _t1 in results], health)
+        yield Sleep(30.0)
+
+    plan = FaultPlan()
+    for rank in dead:
+        plan.kill_process(0.5, rank)
+    run = run_gaspi(main, n_ranks=n_ranks, fault_plan=plan)
+    outcomes, health = run.result(0)
+    assert outcomes == [(r, r not in dead) for r in range(1, n_ranks)]
+    # dead targets marked exactly as per-target proc_ping would have
+    for rank in range(1, n_ranks):
+        expected = HealthState.CORRUPT if rank in dead else HealthState.HEALTHY
+        assert health[rank] is expected
+
+
+def test_sweep_charges_error_timeout_for_dead_targets():
+    """A newly dead target still costs the channel-teardown delay.
+
+    The batching must not shortcut the paper's detection-latency model:
+    the first probe of a dead rank resolves only after the transport's
+    error timeout, so the sweep takes at least that long.
+    """
+    def main(ctx):
+        if ctx.rank == 0:
+            yield Sleep(1.0)
+            t0 = ctx.now
+            ret, results = yield from ctx.proc_ping_sweep([1, 2], 1)
+            assert ret is ReturnCode.SUCCESS
+            sweep = ctx.now - t0
+            # per-probe timestamps bracket each probe within the sweep
+            for _r, _alive, p0, p1 in results:
+                assert t0 <= p0 <= p1 <= ctx.now
+            return sweep
+        yield Sleep(30.0)
+
+    plan = FaultPlan().kill_process(0.5, 2)
+    run = run_gaspi(main, n_ranks=3, fault_plan=plan)
+    error_timeout = run.machine.transport.params.error_timeout
+    assert run.result(0) >= error_timeout
+
+
+def test_sweep_timestamps_are_sequential_groups():
+    """width=1 probes run one after another: probe i starts at probe
+    i-1's resolve time (the sequential-FD behaviour the sweep preserves)."""
+    def main(ctx):
+        if ctx.rank != 0:
+            yield Sleep(5.0)
+            return None
+        ret, results = yield from ctx.proc_ping_sweep([1, 2, 3], 1)
+        assert ret is ReturnCode.SUCCESS
+        return [(t0, t1) for _r, _a, t0, t1 in results]
+
+    spans = run_gaspi(main, n_ranks=4).result(0)
+    for (_, prev_end), (start, _) in zip(spans, spans[1:]):
+        assert start == prev_end
+
+
+def test_scan_once_reports_sweep_failures():
+    """The detector's scan harvests the sweep's dead set."""
+    from repro.ft.detector import scan_once
+
+    def main(ctx):
+        if ctx.rank == 0:
+            yield Sleep(1.0)
+            failed = yield from scan_once(ctx, list(range(1, 5)), 2)
+            return failed
+        yield Sleep(30.0)
+
+    plan = FaultPlan().kill_process(0.5, 3)
+    assert run_gaspi(main, n_ranks=5, fault_plan=plan).result(0) == [3]
+
+
+def test_wait_on_empty_queue_is_immediate():
+    """Nothing outstanding: the aggregate drain takes zero virtual time."""
+    def main(ctx):
+        if False:
+            yield
+        t0 = ctx.now
+        ret = yield from ctx.wait(0)
+        return (ret, ctx.now - t0)
+
+    assert run_gaspi(main, n_ranks=1).result(0) == (ReturnCode.SUCCESS, 0.0)
+
+
+def test_wait_drains_many_ops_in_one_block():
+    """A single wait covers every op outstanding at call time."""
+    import numpy as np
+
+    def main(ctx):
+        ctx.segment_create(0, 256)
+        if ctx.rank == 0:
+            ctx.segment_view(0, np.uint8)[:] = 7
+            for i in range(8):
+                ret = ctx.write(0, i * 8, 8, 1, 0, i * 8)
+                assert ret is ReturnCode.SUCCESS
+            assert ctx.queue_size(0) == 8
+            ret = yield from ctx.wait(0)
+            yield from ctx.barrier()
+            return (ret, ctx.queue_size(0))
+        yield from ctx.barrier()
+        return int(ctx.segment_view(0, np.uint8)[:64].sum())
+
+    run = run_gaspi(main, n_ranks=2)
+    assert run.result(0) == (ReturnCode.SUCCESS, 0)
+    assert run.result(1) == 7 * 64

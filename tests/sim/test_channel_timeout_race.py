@@ -1,0 +1,91 @@
+"""Channel.get timeout-withdrawal invariant under same-tick races.
+
+A ``put`` and a get-timeout landing on the same simulated tick race on
+the kernel's FIFO seq order.  Whatever the order, the invariant is: an
+item is never lost to an abandoned getter — either the getter receives
+it, or the withdrawal leaves it queued for the next taker.
+"""
+
+from repro.sim import Channel, Simulator, Sleep
+
+
+def test_timeout_fires_first_item_survives_in_channel():
+    """Getter spawned first: its timeout timer outranks the putter's.
+
+    The timeout withdraws the reservation; the same-tick put then finds no
+    waiters and must queue the item — not hand it to the dead reservation.
+    """
+    sim = Simulator()
+    chan = Channel("race")
+    log = []
+
+    def getter():
+        ok, item = yield from chan.get(timeout=1.0)
+        log.append(("get", ok, item))
+
+    def putter():
+        yield Sleep(1.0)
+        chan.put("payload")
+
+    sim.spawn(getter())
+    sim.spawn(putter())
+    sim.run()
+
+    assert log == [("get", False, None)]  # the getter really timed out
+    assert len(chan) == 1                 # ...but the item was not lost
+    assert chan.try_get() == (True, "payload")
+
+
+def test_put_fires_first_timeout_is_cancelled():
+    """Putter spawned first: the item wins the race.
+
+    The getter must resume exactly once with the item, and the cancelled
+    timeout must not produce a second (spurious) resumption.
+    """
+    sim = Simulator()
+    chan = Channel("race")
+    log = []
+
+    def putter():
+        yield Sleep(1.0)
+        chan.put("payload")
+
+    def getter():
+        ok, item = yield from chan.get(timeout=1.0)
+        log.append(("get", ok, item))
+        # park well past the timeout tick: a spurious timeout resumption
+        # would throw inside the generator machinery before this returns
+        yield Sleep(5.0)
+        log.append(("done",))
+
+    sim.spawn(putter())
+    sim.spawn(getter())
+    sim.run()
+
+    assert log == [("get", True, "payload"), ("done",)]
+    assert len(chan) == 0
+
+
+def test_withdrawn_item_reaches_next_getter():
+    """The queued-after-withdrawal item is delivered to a later get."""
+    sim = Simulator()
+    chan = Channel("race")
+    log = []
+
+    def getter():
+        ok, item = yield from chan.get(timeout=1.0)
+        log.append((sim.now, ok, item))
+        if not ok:  # timed out: try again, the put landed meanwhile
+            ok, item = yield from chan.get(timeout=1.0)
+            log.append((sim.now, ok, item))
+
+    def putter():
+        yield Sleep(1.0)
+        chan.put("late")
+
+    sim.spawn(getter())
+    sim.spawn(putter())
+    sim.run()
+
+    assert log == [(1.0, False, None), (1.0, True, "late")]
+    assert len(chan) == 0

@@ -66,7 +66,7 @@ def test_timer_cancel_prevents_callback():
     sim = Simulator()
     seen = []
     timer = sim.schedule(1.0, lambda: seen.append(1))
-    timer.cancel()
+    sim.cancel(timer)
     sim.run()
     assert seen == []
 
@@ -74,8 +74,8 @@ def test_timer_cancel_prevents_callback():
 def test_timer_cancel_is_idempotent():
     sim = Simulator()
     timer = sim.schedule(1.0, lambda: None)
-    timer.cancel()
-    timer.cancel()
+    sim.cancel(timer)
+    sim.cancel(timer)
     sim.run()
 
 
