@@ -19,6 +19,7 @@ cores), with output byte-identical to the serial default.
 from __future__ import annotations
 
 import sys
+from typing import List, Optional
 
 
 def _bench_main(argv):
@@ -47,7 +48,7 @@ _COMMANDS = {
 }
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help") or argv[0] not in _COMMANDS:
         print(__doc__)

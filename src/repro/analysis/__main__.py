@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — the ftlint static-analysis CLI."""
+
+import sys
+
+from repro.analysis.ftlint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

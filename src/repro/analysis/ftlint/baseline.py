@@ -1,0 +1,111 @@
+"""Grandfathered findings: the committed ``.ftlint-baseline.json``.
+
+A baseline entry identifies a finding by *content*, not by line number —
+``sha1(rule | path | symbol | snippet)`` — so unrelated edits that shift
+code downward do not invalidate it, while changing the flagged line
+itself (or moving it to another function/file) retires the entry.
+Duplicate identical findings in one symbol are matched as a multiset.
+
+Workflow: ``--write-baseline`` records the current findings;
+``--fail-on new`` (the default) fails only on findings absent from the
+baseline.  Entries whose finding disappeared are reported as stale so
+the file shrinks over time instead of fossilising.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.ftlint.core import Finding
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-number-independent identity of a finding."""
+    payload = "|".join((finding.rule, finding.path, finding.symbol,
+                        finding.snippet))
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    counts: Counter = field(default_factory=Counter)
+    #: human-readable context per fingerprint (for stale reporting)
+    entries: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+def load_baseline(path: Path) -> Baseline:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} "
+            f"in {path} (expected {BASELINE_VERSION})"
+        )
+    baseline = Baseline()
+    for entry in data.get("findings", []):
+        fp = entry["fingerprint"]
+        baseline.counts[fp] += int(entry.get("count", 1))
+        baseline.entries[fp] = entry
+    return baseline
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Record ``findings`` as the new baseline; returns the entry count."""
+    grouped: Dict[str, dict] = {}
+    for finding in findings:
+        fp = fingerprint(finding)
+        entry = grouped.setdefault(fp, {
+            "fingerprint": fp,
+            "rule": finding.rule,
+            "path": finding.path,
+            "symbol": finding.symbol,
+            "snippet": finding.snippet,
+            "count": 0,
+        })
+        entry["count"] += 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "grandfathered ftlint findings; regenerate with "
+            "python tools/ftlint.py <paths> --write-baseline"
+        ),
+        "findings": sorted(
+            grouped.values(),
+            key=lambda e: (e["path"], e["rule"], e["symbol"], e["snippet"]),
+        ),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(grouped)
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], baseline: Baseline,
+) -> Tuple[List[Finding], List[Finding], List[dict]]:
+    """-> (new_findings, baselined_findings, stale_entries)."""
+    remaining = Counter(baseline.counts)
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        fp = fingerprint(finding)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    stale = [
+        baseline.entries.get(fp, {"fingerprint": fp})
+        for fp, count in remaining.items() if count > 0
+    ]
+    return new, old, stale

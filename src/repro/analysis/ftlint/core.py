@@ -1,0 +1,280 @@
+"""The ftlint engine: findings, rule registry, suppressions, file walking.
+
+A :class:`FileContext` is built once per analyzed file (parse, parent
+links, suppression table); every registered rule then gets a chance to
+emit :class:`Finding` records against it.  Rules are plain classes with a
+``check(ctx)`` generator — registration order is report order.
+
+Suppressions are comments, checked against every line the enclosing
+statement spans (so a multi-line call can carry its pragma on any of its
+lines)::
+
+    ret = yield from ctx.wait(q)  # ftlint: disable=FT001 -- local queue
+
+    # ftlint: disable-file=FT006 -- generated bindings
+
+A reason string after ``--`` is required by convention and surfaced in
+the report; ``disable=all`` mutes every rule for the line/file.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+#: matches one suppression pragma; ``disable`` scopes to the statement,
+#: ``disable-file`` to the whole file
+_PRAGMA = re.compile(
+    r"#\s*ftlint:\s*(disable|disable-file)="
+    r"(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>.*))?$"
+)
+
+ALL_RULES = "all"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str            # posix-style path as given on the command line
+    line: int            # 1-based line of the offending node
+    col: int             # 0-based column
+    symbol: str          # dotted in-file qualname ("<module>" at top level)
+    message: str
+    snippet: str         # stripped source line (baseline identity input)
+    #: line span of the enclosing statement — where a suppression pragma
+    #: is honoured (not part of the reported payload or the fingerprint)
+    span: tuple = (0, 0)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# ftlint: disable[-file]=...`` pragma."""
+
+    line: int
+    rules: Set[str]
+    file_wide: bool
+    reason: Optional[str]
+
+
+class FileContext:
+    """Everything a rule needs to inspect one source file."""
+
+    def __init__(self, path: Path, display_path: str, source: str) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self.suppressions = self._parse_suppressions()
+
+    # ------------------------------------------------------------------
+    # tree navigation
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Parents from the immediate one outward to the module."""
+        cur = self._parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self._parents.get(cur)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def enclosing_statement(self, node: ast.AST) -> ast.AST:
+        """The nearest ancestor (or the node itself) that is a statement."""
+        cur: Optional[ast.AST] = node
+        while cur is not None and not isinstance(cur, ast.stmt):
+            cur = self._parents.get(cur)
+        return cur if cur is not None else node
+
+    def qualname(self, node: ast.AST) -> str:
+        """Dotted path of enclosing class/function defs, or ``<module>``."""
+        parts: List[str] = []
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.ClassDef)):
+                parts.append(anc.name)
+        return ".".join(reversed(parts)) if parts else "<module>"
+
+    # ------------------------------------------------------------------
+    # suppressions
+    # ------------------------------------------------------------------
+    def _parse_suppressions(self) -> List[Suppression]:
+        found: List[Suppression] = []
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _PRAGMA.search(text)
+            if match is None:
+                continue
+            rules = {
+                token.strip().upper() if token.strip() != ALL_RULES
+                else ALL_RULES
+                for token in match.group("rules").split(",")
+                if token.strip()
+            }
+            reason = match.group("reason")
+            found.append(Suppression(
+                line=lineno,
+                rules=rules,
+                file_wide=match.group(1) == "disable-file",
+                reason=reason.strip() if reason else None,
+            ))
+        return found
+
+    def is_suppressed(self, rule: str, span: tuple) -> bool:
+        """Is ``rule`` muted on any line of ``span`` (or file-wide)?"""
+        first, last = span
+        for sup in self.suppressions:
+            if ALL_RULES not in sup.rules and rule not in sup.rules:
+                continue
+            if sup.file_wide or first <= sup.line <= last:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def snippet_at(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def make_finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        stmt = self.enclosing_statement(node)
+        first = getattr(stmt, "lineno", lineno)
+        last = getattr(stmt, "end_lineno", first) or first
+        return Finding(
+            rule=rule,
+            path=self.display_path,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            symbol=self.qualname(node),
+            message=message,
+            snippet=self.snippet_at(lineno),
+            span=(first, last),
+        )
+
+
+# ----------------------------------------------------------------------
+# rule registry
+# ----------------------------------------------------------------------
+class Rule:
+    """Base class: subclass, set ``id``/``title``, implement ``check``."""
+
+    id: str = ""
+    title: str = ""
+    #: one-line rationale shown by ``--list-rules``
+    rationale: str = ""
+
+    def applies_to(self, display_path: str) -> bool:
+        """Path filter (posix-style, as passed on the command line)."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self.applies_to(ctx.display_path):
+            return
+        yield from self.check(ctx)
+
+
+_REGISTRY: List[Rule] = []
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding an instance to the global registry."""
+    _REGISTRY.append(rule_cls())
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    return list(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# driving
+# ----------------------------------------------------------------------
+_SKIP_DIRS = {".git", "__pycache__", ".hypothesis", ".benchmarks",
+              "build", "dist", ".eggs"}
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates: Iterable[Path] = [root]
+        else:
+            candidates = sorted(
+                p for p in root.rglob("*.py")
+                if not (set(p.parts) & _SKIP_DIRS)
+            )
+        for path in candidates:
+            if path not in seen:
+                seen.add(path)
+                yield path
+
+
+def analyze_file(
+    path: Path,
+    rules: Optional[Sequence[Rule]] = None,
+    display_path: Optional[str] = None,
+) -> List[Finding]:
+    """All un-suppressed findings for one file (report order = rule order)."""
+    display = display_path if display_path is not None else path.as_posix()
+    source = path.read_text(encoding="utf-8")
+    try:
+        ctx = FileContext(path, display, source)
+    except SyntaxError as exc:
+        return [Finding(
+            rule="PARSE", path=display, line=exc.lineno or 1, col=0,
+            symbol="<module>", message=f"syntax error: {exc.msg}",
+            snippet="",
+        )]
+    findings: List[Finding] = []
+    for rule in (rules if rules is not None else all_rules()):
+        for finding in rule.run(ctx):
+            span = finding.span if finding.span != (0, 0) \
+                else (finding.line, finding.line)
+            if not ctx.is_suppressed(finding.rule, span):
+                findings.append(finding)
+    return findings
+
+
+@dataclass
+class AnalysisResult:
+    """Findings plus bookkeeping for the reporters."""
+
+    findings: List[Finding] = field(default_factory=list)
+    n_files: int = 0
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> AnalysisResult:
+    """Analyze every ``.py`` file under ``paths``."""
+    result = AnalysisResult()
+    for path in iter_python_files(paths):
+        result.n_files += 1
+        result.findings.extend(analyze_file(path, rules=rules))
+    return result

@@ -1,0 +1,100 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Optional, Sequence
+
+from repro.analysis.ftlint.baseline import fingerprint
+from repro.analysis.ftlint.core import Finding, all_rules
+
+
+def render_human(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[dict],
+    n_files: int,
+    show_baselined: bool = False,
+) -> str:
+    """The default terminal report."""
+    lines: List[str] = []
+    for finding in new:
+        lines.append(
+            f"{finding.location()}: {finding.rule} [{finding.symbol}] "
+            f"{finding.message}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    if show_baselined:
+        for finding in baselined:
+            lines.append(
+                f"{finding.location()}: {finding.rule} [baselined] "
+                f"{finding.message}"
+            )
+    for entry in stale:
+        lines.append(
+            f"stale baseline entry {entry.get('fingerprint', '?')}: "
+            f"{entry.get('path', '?')} {entry.get('rule', '?')} "
+            f"[{entry.get('symbol', '?')}] no longer found — "
+            f"regenerate with --write-baseline"
+        )
+    by_rule = Counter(f.rule for f in new)
+    summary = ", ".join(f"{rule}: {n}" for rule, n in sorted(by_rule.items()))
+    lines.append(
+        f"ftlint: {len(new)} finding{'s' if len(new) != 1 else ''}"
+        f"{' (' + summary + ')' if summary else ''}, "
+        f"{len(baselined)} baselined, {len(stale)} stale baseline "
+        f"entr{'ies' if len(stale) != 1 else 'y'}, "
+        f"{n_files} file{'s' if n_files != 1 else ''} checked"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[dict],
+    n_files: int,
+) -> str:
+    """Stable machine-readable report (one JSON document)."""
+
+    def encode(finding: Finding, status: str) -> dict:
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col + 1,
+            "symbol": finding.symbol,
+            "message": finding.message,
+            "snippet": finding.snippet,
+            "fingerprint": fingerprint(finding),
+            "status": status,
+        }
+
+    payload = {
+        "tool": "ftlint",
+        "files_checked": n_files,
+        "findings": (
+            [encode(f, "new") for f in new]
+            + [encode(f, "baselined") for f in baselined]
+        ),
+        "stale_baseline_entries": list(stale),
+        "summary": {
+            "new": len(new),
+            "baselined": len(baselined),
+            "stale": len(stale),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_rule_list(selected: Optional[Sequence[str]] = None) -> str:
+    """``--list-rules`` output."""
+    lines = []
+    for rule in all_rules():
+        if selected and rule.id not in selected:
+            continue
+        lines.append(f"{rule.id}  {rule.title}")
+        lines.append(f"       {rule.rationale}")
+    return "\n".join(lines)

@@ -236,7 +236,7 @@ class CheckpointLib:
     def _helper_loop(self):
         """The library thread of Fig. 2: waits for signals, mirrors blobs."""
         while True:
-            _, job = yield from self._jobs.get()
+            _, job = yield from self._jobs.get()  # ftlint: disable=FT001 -- local in-process job channel; woken by the _SHUTDOWN sentinel, no remote peer involved
             if job is _SHUTDOWN:
                 return
             key, blob, mirrored = job

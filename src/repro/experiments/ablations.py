@@ -266,7 +266,7 @@ def _commit_time(size: int) -> tuple:
         for rank in range(size):
             ctx.group_add(group, rank)
         t0 = ctx.now
-        ret = yield from ctx.group_commit(group)
+        ret = yield from ctx.group_commit(group)  # ftlint: disable=FT001 -- commit-cost microbenchmark on a healthy cluster (no fault plan); blocking is the quantity measured
         assert ret is ReturnCode.SUCCESS
         return ctx.now - t0
 

@@ -62,7 +62,7 @@ def run_bare(spec: WorkloadSpec, checkpoints: bool) -> float:
         group = ctx.group_create(tag=0)
         for rank in range(spec.n_workers):
             ctx.group_add(group, rank)
-        ret = yield from ctx.group_commit(group)
+        ret = yield from ctx.group_commit(group)  # ftlint: disable=FT001 -- bare (non-FT) baseline by design: no fault plan, nothing to guard on
         assert ret is ReturnCode.SUCCESS
 
         lib = None
@@ -72,7 +72,7 @@ def run_bare(spec: WorkloadSpec, checkpoints: bool) -> float:
         yield Sleep(spec.setup_time)
         step = 0
         while step < spec.n_iterations:
-            ret, _ = yield from ctx.allreduce(
+            ret, _ = yield from ctx.allreduce(  # ftlint: disable=FT001 -- bare (non-FT) baseline by design: the paper's comparison point runs without the health flag
                 np.array([step]), AllreduceOp.MIN, group
             )
             assert ret is ReturnCode.SUCCESS

@@ -73,7 +73,7 @@ def measure_ulfm(n_ranks: int, error_timeout: float = 3.5) -> tuple:
         comm = UlfmComm(ctx, list(range(n_ranks)))
         step = 0
         while True:
-            ret, _ = yield from comm.allreduce(
+            ret, _ = yield from comm.allreduce(  # ftlint: disable=FT001 -- ULFM model: failures surface as UlfmResult error codes, not the GASPI health flag
                 np.array([float(step)]), AllreduceOp.SUM
             )
             if ret is not UlfmResult.SUCCESS:
@@ -86,7 +86,7 @@ def measure_ulfm(n_ranks: int, error_timeout: float = 3.5) -> tuple:
         ret, new_comm = yield from comm.shrink()
         t_ready = ctx.now
         # sanity: the shrunken communicator is usable
-        ret, _ = yield from new_comm.allreduce(np.array([1.0]), AllreduceOp.SUM)
+        ret, _ = yield from new_comm.allreduce(np.array([1.0]), AllreduceOp.SUM)  # ftlint: disable=FT001 -- ULFM model: post-shrink sanity check, failures surface as error codes
         assert ret is UlfmResult.SUCCESS
         return (t_detect, t_ready)
 

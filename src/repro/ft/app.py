@@ -236,6 +236,10 @@ def worker_loop(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
     while True:
         try:
             if mode == "fresh":
+                # the initial group commit runs inside the recovery scope:
+                # a rank dying during startup unwinds the survivors into a
+                # regular recovery instead of spinning on commit timeouts
+                yield from _commit_initial_group(ctx, cfg, ftx)
                 work = yield from program.setup(ftx)
             else:
                 t_restore = ctx.now
@@ -357,7 +361,6 @@ def ft_main(cfg: FTConfig, program: FTProgram,
         )
         ftx = FTContext.build(ctx, cfg, block, team, epoch=0, extra_nodes=[],
                               pfs=pfs)
-        yield from _commit_initial_group(ctx, cfg, team)
         return (yield from worker_loop(ctx, cfg, block, program, ftx,
                                        mode="fresh", pfs=pfs))
 
@@ -371,9 +374,16 @@ def _initial_group(ctx: GaspiContext, cfg: FTConfig):
     return group
 
 
-def _commit_initial_group(ctx: GaspiContext, cfg: FTConfig, team: Team):
+def _commit_initial_group(ctx: GaspiContext, cfg: FTConfig, ftx: FTContext):
+    """Generator: guarded commit of the initial worker group.
+
+    Honours the paper's pre-communication discipline: the local failure
+    flag is read before every commit attempt, so a failure during startup
+    acknowledges instead of retrying the commit forever.
+    """
     while True:
-        ret = yield from ctx.group_commit(team.group, cfg.comm_timeout)
+        ftx.guard.assert_healthy()
+        ret = yield from ctx.group_commit(ftx.team.group, cfg.comm_timeout)
         if ret is ReturnCode.SUCCESS:
             return
 

@@ -173,7 +173,19 @@ class ControlBlock:
         for target in targets:
             if target == self.ctx.rank:
                 continue
-            self.ctx.write(FT_SEGMENT, 0, nbytes, target, FT_SEGMENT, 0, queue_id)
+            ret = self.ctx.write(FT_SEGMENT, 0, nbytes, target,
+                                 FT_SEGMENT, 0, queue_id)
+            if ret is not ReturnCode.SUCCESS:
+                # queue full (e.g. many targets, or wedged by writes to
+                # dead ranks): drain — purge on timeout — and repost, so
+                # no healthy rank silently misses the notice
+                drained = yield from self.ctx.wait(queue_id, timeout)
+                if drained is not ReturnCode.SUCCESS:
+                    self.ctx.queue_purge(queue_id)
+                retry = self.ctx.write(FT_SEGMENT, 0, nbytes, target,
+                                       FT_SEGMENT, 0, queue_id)
+                if retry is not ReturnCode.SUCCESS:  # pragma: no cover
+                    continue  # freshly purged queue still full: give up
         ret = yield from self.ctx.wait(queue_id, timeout)
         if ret is not ReturnCode.SUCCESS:
             self.ctx.queue_purge(queue_id)

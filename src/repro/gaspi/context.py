@@ -14,7 +14,7 @@ the paper's listings, e.g.::
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Generator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,6 +33,12 @@ from repro.gaspi.state import StateVector
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gaspi.runtime import GaspiWorld
+    from repro.obs.tracer import TracerLike
+    from repro.sim import Event
+
+#: one ``(segment_id, offset, size, remote_segment, remote_offset)`` entry
+#: of a list operation.
+ListEntry = Tuple[int, int, int, int, int]
 
 
 def _clip_timeout(timeout: float) -> Optional[float]:
@@ -76,7 +82,7 @@ class GaspiContext:
         return self.world.sim.now
 
     @property
-    def tracer(self):
+    def tracer(self) -> "TracerLike":
         """This job's structured tracer (``repro.obs``; no-op by default)."""
         return self.world.sim.tracer
 
@@ -106,7 +112,7 @@ class GaspiContext:
     def segment(self, segment_id: int) -> Segment:
         return self.segments.get(segment_id)
 
-    def segment_view(self, segment_id: int, dtype, offset: int = 0,
+    def segment_view(self, segment_id: int, dtype: Any, offset: int = 0,
                      count: Optional[int] = None) -> np.ndarray:
         """Zero-copy typed view into a local segment (``gaspi_segment_ptr``)."""
         return self.segments.get(segment_id).view(dtype, offset, count)
@@ -192,7 +198,8 @@ class GaspiContext:
         queue.post(done)
         return ReturnCode.SUCCESS
 
-    def write_list(self, entries, dst_rank: int, queue_id: int = 0,
+    def write_list(self, entries: Sequence[ListEntry], dst_rank: int,
+                   queue_id: int = 0,
                    modeled_bytes: Optional[int] = None) -> ReturnCode:
         """``gaspi_write_list``: several puts to one rank as one request.
 
@@ -233,8 +240,11 @@ class GaspiContext:
         queue.post(done)
         return ReturnCode.SUCCESS
 
-    def write_list_notify(self, entries, dst_rank: int, notify_segment: int,
-                          notifications, queue_id: int = 0,
+    def write_list_notify(self, entries: Sequence[ListEntry], dst_rank: int,
+                          notify_segment: int,
+                          notifications: Union[Tuple[int, int],
+                                               Sequence[Tuple[int, int]]],
+                          queue_id: int = 0,
                           modeled_bytes: Optional[int] = None) -> ReturnCode:
         """``gaspi_write_list_notify``: batched puts + notifications, fused.
 
@@ -289,7 +299,8 @@ class GaspiContext:
         queue.post(done)
         return ReturnCode.SUCCESS
 
-    def read_list(self, entries, src_rank: int, queue_id: int = 0) -> ReturnCode:
+    def read_list(self, entries: Sequence[ListEntry], src_rank: int,
+                  queue_id: int = 0) -> ReturnCode:
         """``gaspi_read_list``: several gets from one rank as one request."""
         queue = self._queue(queue_id)
         if queue.full:
@@ -304,7 +315,7 @@ class GaspiContext:
             local_targets.append((local, offset))
         remote_specs = [(e[3], e[4], e[2]) for e in entries]
 
-        def apply():
+        def apply() -> List[bytes]:
             source = self.world.contexts[src_rank].segments
             return [
                 source.get(seg).read_bytes(off, size)
@@ -316,7 +327,7 @@ class GaspiContext:
             doorbell=queue_id,
         )
 
-        def land(ev):
+        def land(ev: "Event") -> None:
             for (local, offset), data in zip(local_targets, ev.value[1]):
                 local.write_bytes(offset, data)
 
@@ -328,7 +339,8 @@ class GaspiContext:
         """``gaspi_segment_delete``: unregister a local segment."""
         self.segments.delete(segment_id)
 
-    def wait(self, queue_id: int = 0, timeout: float = GASPI_BLOCK):
+    def wait(self, queue_id: int = 0, timeout: float = GASPI_BLOCK,
+             ) -> Generator[Any, Any, ReturnCode]:
         """``gaspi_wait``: flush the queue (generator).
 
         Blocks until every operation outstanding at call time completed;
@@ -382,7 +394,8 @@ class GaspiContext:
     # notifications (consumer side)
     # ------------------------------------------------------------------
     def notify_waitsome(self, segment_id: int, first: int, num: int,
-                        timeout: float = GASPI_BLOCK):
+                        timeout: float = GASPI_BLOCK,
+                        ) -> Generator[Any, Any, Tuple[ReturnCode, int]]:
         """``gaspi_notify_waitsome`` (generator).
 
         Returns ``(ReturnCode, notification_id)``; the id is -1 on timeout.
@@ -403,7 +416,8 @@ class GaspiContext:
         """``gaspi_notify_reset``: consume and clear a slot, return old value."""
         return self.segments.get(segment_id).notifications.reset(notification_id)
 
-    def notify_reset_many(self, segment_id: int, notification_ids) -> list:
+    def notify_reset_many(self, segment_id: int,
+                          notification_ids: Sequence[int]) -> List[int]:
         """Batched ``gaspi_notify_reset``: consume several slots at once.
 
         Returns the old values in the order the ids were given.
@@ -416,7 +430,8 @@ class GaspiContext:
     # passive communication
     # ------------------------------------------------------------------
     def passive_send(self, dst_rank: int, payload: Any, nbytes: int = 256,
-                     timeout: float = GASPI_BLOCK):
+                     timeout: float = GASPI_BLOCK,
+                     ) -> Generator[Any, Any, ReturnCode]:
         """``gaspi_passive_send`` (generator): two-sided, CPU-involving send."""
         self._remote(dst_rank)
         done = self.world.transport.post_control(
@@ -425,7 +440,8 @@ class GaspiContext:
         ok, _ = yield WaitEvent(done, _clip_timeout(timeout))
         return ReturnCode.SUCCESS if ok else ReturnCode.TIMEOUT
 
-    def passive_receive(self, timeout: float = GASPI_BLOCK):
+    def passive_receive(self, timeout: float = GASPI_BLOCK,
+                        ) -> Generator[Any, Any, Tuple[ReturnCode, int, Any]]:
         """``gaspi_passive_receive`` (generator).
 
         Returns ``(ReturnCode, src_rank, payload)``.
@@ -439,8 +455,10 @@ class GaspiContext:
     # ------------------------------------------------------------------
     # global atomics (on int64 cells of remote segments)
     # ------------------------------------------------------------------
-    def atomic_fetch_add(self, dst_rank: int, segment_id: int, offset: int,
-                         delta: int, timeout: float = GASPI_BLOCK):
+    def atomic_fetch_add(
+        self, dst_rank: int, segment_id: int, offset: int,
+        delta: int, timeout: float = GASPI_BLOCK,
+    ) -> Generator[Any, Any, Tuple[ReturnCode, Optional[int]]]:
         """``gaspi_atomic_fetch_add`` (generator): returns ``(ret, old)``."""
         self._check_atomic(offset)
         self._remote(dst_rank)
@@ -459,9 +477,10 @@ class GaspiContext:
             return (ReturnCode.TIMEOUT, None)
         return (ReturnCode.SUCCESS, res[1])
 
-    def atomic_compare_swap(self, dst_rank: int, segment_id: int, offset: int,
-                            comparator: int, new_value: int,
-                            timeout: float = GASPI_BLOCK):
+    def atomic_compare_swap(
+        self, dst_rank: int, segment_id: int, offset: int,
+        comparator: int, new_value: int, timeout: float = GASPI_BLOCK,
+    ) -> Generator[Any, Any, Tuple[ReturnCode, Optional[int]]]:
         """``gaspi_atomic_compare_swap`` (generator): returns ``(ret, old)``."""
         self._check_atomic(offset)
         self._remote(dst_rank)
@@ -498,7 +517,8 @@ class GaspiContext:
         """``gaspi_group_add``."""
         group.add(rank)
 
-    def group_commit(self, group: Group, timeout: float = GASPI_BLOCK):
+    def group_commit(self, group: Group, timeout: float = GASPI_BLOCK,
+                     ) -> Generator[Any, Any, ReturnCode]:
         """``gaspi_group_commit`` (generator): blocking collective.
 
         Its cost is linear in group size (connection establishment) — the
@@ -523,7 +543,9 @@ class GaspiContext:
         """``gaspi_group_delete``: the handle must not be used afterwards."""
         group.committed = False
 
-    def barrier(self, group: Optional[Group] = None, timeout: float = GASPI_BLOCK):
+    def barrier(self, group: Optional[Group] = None,
+                timeout: float = GASPI_BLOCK,
+                ) -> Generator[Any, Any, ReturnCode]:
         """``gaspi_barrier`` (generator)."""
         group = group or self.group_all
         group.require_committed()
@@ -540,8 +562,10 @@ class GaspiContext:
         group.coll_seq += 1
         return ReturnCode.SUCCESS
 
-    def allreduce(self, values, op: AllreduceOp, group: Optional[Group] = None,
-                  timeout: float = GASPI_BLOCK):
+    def allreduce(
+        self, values: Any, op: AllreduceOp, group: Optional[Group] = None,
+        timeout: float = GASPI_BLOCK,
+    ) -> Generator[Any, Any, Tuple[ReturnCode, Optional[np.ndarray]]]:
         """``gaspi_allreduce`` (generator): returns ``(ret, reduced array)``."""
         group = group or self.group_all
         group.require_committed()
@@ -564,7 +588,8 @@ class GaspiContext:
     # ------------------------------------------------------------------
     # fault tolerance surface
     # ------------------------------------------------------------------
-    def proc_ping(self, dst_rank: int, timeout: float = GASPI_BLOCK):
+    def proc_ping(self, dst_rank: int, timeout: float = GASPI_BLOCK,
+                  ) -> Generator[Any, Any, ReturnCode]:
         """GPI-2 extension ``gaspi_proc_ping`` (generator).
 
         ``SUCCESS`` from a live, reachable peer; ``ERROR`` once the
@@ -583,7 +608,7 @@ class GaspiContext:
         self.state_vector.mark_corrupt(dst_rank)
         return ReturnCode.ERROR
 
-    def proc_ping_post(self, dst_rank: int):
+    def proc_ping_post(self, dst_rank: int) -> "Event":
         """Post a ping without blocking; returns its completion event.
 
         The event fires with ``(alive, None)`` once the transport resolves
@@ -596,8 +621,13 @@ class GaspiContext:
         self._remote(dst_rank)
         return self.world.transport.post_ping(self.rank, dst_rank)
 
-    def proc_ping_sweep(self, targets, width: int = 1,
-                        timeout: float = GASPI_BLOCK):
+    def proc_ping_sweep(
+        self, targets: Sequence[int], width: int = 1,
+        timeout: float = GASPI_BLOCK,
+    ) -> Generator[
+        Any, Any,
+        Tuple[ReturnCode, Optional[List[Tuple[int, bool, float, float]]]],
+    ]:
         """Batched ``gaspi_proc_ping`` over a whole round (generator).
 
         Probes ``targets`` with at most ``width`` pings in flight (the FD's
@@ -627,7 +657,8 @@ class GaspiContext:
         self.state_vector.mark_corrupt(dst_rank)
         return ReturnCode.ERROR
 
-    def proc_kill(self, dst_rank: int, timeout: float = GASPI_BLOCK):
+    def proc_kill(self, dst_rank: int, timeout: float = GASPI_BLOCK,
+                  ) -> Generator[Any, Any, ReturnCode]:
         """GPI-2 extension ``gaspi_proc_kill`` (generator).
 
         Forces the target to die if it is reachable from here (the recovery

@@ -9,7 +9,7 @@ the paper's spMVM library uses to learn its halo values have landed.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterable, List, Tuple
 
 import numpy as np
 
@@ -113,7 +113,7 @@ class NotificationBoard:
         self.values[notification_id] = 0
         return old
 
-    def reset_many(self, notification_ids) -> List[int]:
+    def reset_many(self, notification_ids: Iterable[int]) -> List[int]:
         """Consume a batch of slots in one operation.
 
         Returns the old values in the order the ids were given.  Vectorized

@@ -11,7 +11,7 @@ drops such stuck operations during recovery.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, List
 
 from repro.sim import Event
 from repro.gaspi.errors import GaspiUsageError
@@ -78,7 +78,7 @@ class Queue:
         drained = Event(name=f"q{self.queue_id}.drain")
         remaining = len(pending)
 
-        def _one_done(_value) -> None:
+        def _one_done(_value: Any) -> None:
             nonlocal remaining
             remaining -= 1
             if remaining == 0:

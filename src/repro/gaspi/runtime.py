@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, Generator, Optional
 from repro.obs.tracer import NULL_TRACER, active_tracer
 from repro.sim import Process, Simulator
 from repro.cluster import FaultInjector, FaultPlan, Machine, MachineSpec
+from repro.cluster.transport import Transport
 from repro.gaspi.collectives import CollectiveEngine
 from repro.gaspi.config import GaspiConfig
 from repro.gaspi.context import GaspiContext
@@ -43,7 +44,7 @@ class GaspiWorld:
         return self.machine.n_ranks
 
     @property
-    def transport(self):
+    def transport(self) -> Transport:
         return self.machine.transport
 
     def context(self, rank: int) -> GaspiContext:

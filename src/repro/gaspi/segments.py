@@ -10,7 +10,7 @@ property the paper's failure-acknowledgment flags rely on).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional
 
 import numpy as np
 
@@ -63,7 +63,7 @@ class Segment:
         self.check_range(offset, nbytes)
         return memoryview(self.buf)[offset : offset + nbytes]
 
-    def write_bytes(self, offset: int, data) -> None:
+    def write_bytes(self, offset: int, data: Any) -> None:
         """Copy ``data`` into the segment at ``offset`` (bounds-checked).
 
         ``data`` is any C-contiguous buffer — ``bytes``, ``bytearray``,
@@ -74,7 +74,8 @@ class Segment:
         self.check_range(offset, src.nbytes)
         self.buf[offset : offset + src.nbytes] = src
 
-    def view(self, dtype, offset: int = 0, count: Optional[int] = None) -> np.ndarray:
+    def view(self, dtype: Any, offset: int = 0,
+             count: Optional[int] = None) -> np.ndarray:
         """Zero-copy typed view into the segment.
 
         ``count`` is in elements of ``dtype``; ``None`` extends to the end

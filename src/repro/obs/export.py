@@ -19,7 +19,7 @@ Chrome wants start timestamps in microseconds, hence ``ts = (t-dur)*1e6``.
 from __future__ import annotations
 
 import json
-from typing import Iterable, List, Sequence, Tuple
+from typing import Any, Iterable, List, Sequence, Tuple
 
 from .tracer import TraceEvent
 
@@ -100,7 +100,7 @@ def write_chrome_trace(traces: Iterable[TaskTrace], path: str) -> int:
     return len(doc["traceEvents"])
 
 
-def _jsonable(value):
+def _jsonable(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
     if isinstance(value, (str, int, float, bool)) or value is None:

@@ -16,7 +16,7 @@ post-processing; in-run aggregation only needs O(1) memory.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List
+from typing import Any, Dict, Iterable, List
 
 from .tracer import CKPT_MIRROR, CKPT_WRITE, TraceEvent
 
@@ -101,7 +101,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: Dict[str, object] = {}
 
-    def _get(self, name: str, cls):
+    def _get(self, name: str, cls: type) -> Any:
         inst = self._instruments.get(name)
         if inst is None:
             inst = cls(name)
@@ -159,7 +159,7 @@ def registry_from_events(events: Iterable[TraceEvent]) -> MetricsRegistry:
     return reg
 
 
-def registry_from_traces(traces) -> MetricsRegistry:
+def registry_from_traces(traces: Iterable[Any]) -> MetricsRegistry:
     """Like :func:`registry_from_events`, for multiple tasks' traces.
 
     Event counts and checkpoint histograms aggregate across all traces,

@@ -39,7 +39,7 @@ Event taxonomy (see ``OBSERVABILITY.md`` for the full glossary)::
 from __future__ import annotations
 
 from collections import namedtuple
-from typing import Iterator, List, Optional
+from typing import Any, Iterator, List, Optional, Union
 
 # ----------------------------------------------------------------------
 # event taxonomy
@@ -90,7 +90,7 @@ class Tracer:
 
     # ------------------------------------------------------------------
     def emit(self, t: float, rank: int, etype: str, dur: float = 0.0,
-             **fields) -> None:
+             **fields: Any) -> None:
         """Record one event; O(1), overwrites the oldest when full."""
         n = self._n
         self._buf[n % self._capacity] = TraceEvent(t, rank, etype, dur, fields)
@@ -151,7 +151,7 @@ class NullTracer:
     dropped = 0
 
     def emit(self, t: float, rank: int, etype: str, dur: float = 0.0,
-             **fields) -> None:
+             **fields: Any) -> None:
         pass
 
     def events(self) -> List[TraceEvent]:
@@ -173,10 +173,14 @@ class NullTracer:
 #: the shared disabled tracer (identity-compared throughout the stack)
 NULL_TRACER = NullTracer()
 
+#: anything the stack accepts as "the tracer" — emission sites only touch
+#: ``enabled`` and ``emit``, which both classes provide
+TracerLike = Union[Tracer, NullTracer]
+
 # ----------------------------------------------------------------------
 # the module-level active tracer
 # ----------------------------------------------------------------------
-_active = NULL_TRACER
+_active: TracerLike = NULL_TRACER
 
 
 def install(tracer: Optional[Tracer] = None,
@@ -194,7 +198,7 @@ def install(tracer: Optional[Tracer] = None,
     return tracer
 
 
-def deactivate():
+def deactivate() -> TracerLike:
     """Restore the disabled default; returns the previously active tracer."""
     global _active
     previous = _active
@@ -202,6 +206,6 @@ def deactivate():
     return previous
 
 
-def active_tracer():
+def active_tracer() -> TracerLike:
     """The currently installed tracer (:data:`NULL_TRACER` when disabled)."""
     return _active

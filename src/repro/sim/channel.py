@@ -14,7 +14,11 @@ process inline, exactly like an event firing would have.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Deque, Generator, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+    from repro.sim.process import Process
 
 
 class ChannelGet:
@@ -47,11 +51,12 @@ class _ChannelWaiter:
 
     __slots__ = ("sim", "proc", "channel", "timer")
 
-    def __init__(self, sim, proc, channel: "Channel") -> None:
+    def __init__(self, sim: "Simulator", proc: "Process",
+                 channel: "Channel") -> None:
         self.sim = sim
         self.proc = proc
         self.channel = channel
-        self.timer = None
+        self.timer: Optional[Any] = None
 
     def wake(self, item: Any) -> None:
         """An item arrived first: cancel the timeout, resume the getter."""
@@ -105,7 +110,8 @@ class Channel:
             return True, self._items.popleft()
         return False, None
 
-    def get(self, timeout: Optional[float] = None):
+    def get(self, timeout: Optional[float] = None,
+            ) -> Generator[Any, Any, Tuple[bool, Any]]:
         """Generator helper: wait for an item.
 
         Usage: ``ok, item = yield from chan.get(timeout)``.  On timeout the

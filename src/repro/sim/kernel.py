@@ -48,8 +48,8 @@ from collections import deque
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, Iterator, List, Optional, Union
 
-from repro.obs.tracer import NULL_TRACER
-from repro.sim.channel import ChannelGet, _ChannelWaiter
+from repro.obs.tracer import NULL_TRACER, TracerLike
+from repro.sim.channel import Channel, ChannelGet, _ChannelWaiter
 from repro.sim.errors import SimDeadlock, SimError
 from repro.sim.events import Event, Sleep, WaitEvent
 from repro.sim.process import Process, ProcessState
@@ -82,7 +82,7 @@ class TraceView:
     def __len__(self) -> int:
         return len(self._items)
 
-    def __getitem__(self, index) -> Union[tuple, List[tuple]]:
+    def __getitem__(self, index: Union[int, slice]) -> Union[tuple, List[tuple]]:
         return self._items[index]
 
     def __iter__(self) -> Iterator[tuple]:
@@ -162,7 +162,7 @@ class Simulator:
         # structured observability (repro.obs): the per-simulation tracer.
         # Defaults to the shared no-op; instrumented sites guard emission
         # with ``tracer.enabled`` so the dispatch loop stays untouched.
-        self.tracer = NULL_TRACER
+        self.tracer: TracerLike = NULL_TRACER
 
     # ------------------------------------------------------------------
     # scheduling
@@ -515,7 +515,8 @@ class Simulator:
             waiter.timer = self.schedule(timeout, waiter._on_timeout)
         proc._cleanup = waiter
 
-    def _wait_channel(self, proc: Process, channel, timeout: Optional[float]) -> None:
+    def _wait_channel(self, proc: Process, channel: Channel,
+                      timeout: Optional[float]) -> None:
         """Block ``proc`` on a channel take (no per-get Event allocation)."""
         proc.state = ProcessState.WAITING
         items = channel._items

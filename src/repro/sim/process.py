@@ -72,7 +72,8 @@ class Process:
         self.gen.close()
         self.done_event.succeed(None)
 
-    def join(self, timeout: Optional[float] = None):
+    def join(self, timeout: Optional[float] = None,
+             ) -> Generator[Any, Any, tuple]:
         """Generator helper: wait for this process to terminate.
 
         Yields to the kernel; resumes with ``(ok, result)`` where ``ok`` is

@@ -16,7 +16,6 @@ from repro.ft.app import FTContext, FTProgram
 from repro.spmvm.dist_matrix import DistMatrix, distribute_matrix
 from repro.spmvm.dist_vector import DistVector
 from repro.spmvm.matgen.base import RowGenerator
-from repro.spmvm.partition import RowPartition
 from repro.spmvm.spmv import SpMVMEngine
 
 

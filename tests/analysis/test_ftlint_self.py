@@ -1,0 +1,42 @@
+"""Self-check: the repo's own tree is ftlint-clean modulo the committed
+baseline, and the baseline carries no dead weight."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.ftlint import cli
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def repo_cwd(monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+
+
+def test_src_and_tests_clean_modulo_baseline(repo_cwd, capsys):
+    rc = cli.main(["src", "tests"])
+    out = capsys.readouterr().out
+    assert rc == 0, f"ftlint found new findings:\n{out}"
+
+
+def test_committed_baseline_has_no_stale_entries(repo_cwd, capsys):
+    rc = cli.main(["src", "tests", "--format", "json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    stale = doc["stale_baseline_entries"]
+    assert stale == [], (
+        "baseline entries whose finding no longer exists — regenerate with "
+        f"--write-baseline: {[e.get('fingerprint') for e in stale]}"
+    )
+
+
+def test_strict_packages_carry_no_baselined_debt(repo_cwd, capsys):
+    """sim/, gaspi/ and obs/ are the mypy-strict packages: they must be
+    clean outright, not via grandfathering."""
+    rc = cli.main(["src/repro/sim", "src/repro/gaspi", "src/repro/obs",
+                   "--no-baseline"])
+    out = capsys.readouterr().out
+    assert rc == 0, f"strict packages regressed:\n{out}"

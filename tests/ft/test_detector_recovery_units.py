@@ -4,7 +4,6 @@ import pytest
 
 from repro.cluster import FaultPlan, MachineSpec, TransportParams
 from repro.gaspi import run_gaspi
-from repro.ft import FTConfig
 from repro.ft.detector import scan_once
 from repro.ft.recovery import restore_sources
 from repro.ft.control import FailureNotice

@@ -1,6 +1,5 @@
 """Tests for extensions: second FT application, multi-rank nodes, PFS tier."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import FaultPlan, MachineSpec, TransportParams

@@ -6,7 +6,6 @@ checkpoint, right before completion) — every cell must finish with the
 correct minimum eigenvalue.
 """
 
-import numpy as np
 import pytest
 
 from repro.cluster import FaultPlan, MachineSpec, TransportParams

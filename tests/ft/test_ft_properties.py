@@ -6,7 +6,6 @@ complete with the correct minimum eigenvalue.  This is the system-level
 completeness property of the paper's design.
 """
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

@@ -6,13 +6,12 @@ worker group is rebuilt, state is restored from neighbor-level checkpoints
 and the final eigenvalues are *identical* to the failure-free run.
 """
 
-import numpy as np
 import pytest
 
 from repro.cluster import FaultPlan, MachineSpec, TransportParams
 from repro.ft import FTConfig, run_ft_application
 from repro.solvers.ft_lanczos import FTLanczos
-from repro.spmvm.matgen import GrapheneSheet, Laplacian2D
+from repro.spmvm.matgen import GrapheneSheet
 
 
 class StepTime:

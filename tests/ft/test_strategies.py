@@ -1,6 +1,5 @@
 """Tests for the alternative failure-detection strategies (Sect. IV-A b)."""
 
-import pytest
 
 from repro.cluster import FaultPlan, MachineSpec
 from repro.gaspi import run_gaspi

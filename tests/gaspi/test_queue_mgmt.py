@@ -1,6 +1,5 @@
 """Tests for dynamic queue management (gaspi_queue_create/delete)."""
 
-import pytest
 
 from repro.gaspi import GaspiUsageError, ReturnCode, run_gaspi
 

@@ -1,6 +1,6 @@
 """Serial-vs-parallel trace-merge determinism of the traced sweep."""
 
-from repro.experiments.sweep import SweepTask, SweepTrace, run_traced_sweep
+from repro.experiments.sweep import SweepTask, run_traced_sweep
 from repro.obs.tracer import NULL_TRACER, active_tracer
 
 

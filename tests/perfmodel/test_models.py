@@ -1,6 +1,5 @@
 """Tests for the machine/roofline/calibration models and workload specs."""
 
-import dataclasses
 
 import pytest
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.gaspi import run_gaspi, ReturnCode
+from repro.gaspi import run_gaspi
 from repro.spmvm import (
     DistMatrix,
     DistVector,

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.spmvm import CSRMatrix, RowPartition
+from repro.spmvm import RowPartition
 from repro.spmvm.matgen import (
     GrapheneSheet,
     Laplacian1D,

@@ -8,7 +8,7 @@ from repro.analysis import (
     render_timeline,
 )
 from repro.analysis.timeline import recovery_epochs
-from repro.cluster import FaultPlan, MachineSpec, TransportParams
+from repro.cluster import FaultPlan
 from repro.experiments.common import ft_config_for, machine_for
 from repro.ft.app import run_ft_application
 from repro.workloads import ModelLanczosProgram, scaled_spec

@@ -6,7 +6,6 @@ own correctness claims internally; here we just execute their mains.
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 

@@ -1,0 +1,15 @@
+#!/usr/bin/env python3
+"""Repo entry point for ftlint (adds ``src`` to ``sys.path``).
+
+Usage: ``python tools/ftlint.py src tests`` — see ``ANALYSIS.md``.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.ftlint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
