@@ -83,6 +83,21 @@ class Network:
     def broken_links(self) -> Set[Tuple[int, int]]:
         return set(self._broken_links)
 
+    @property
+    def partitioned(self) -> bool:
+        """Whether any link cut or node isolation is currently active.
+
+        ``False`` (the overwhelmingly common case) lets bulk paths skip
+        per-target :meth:`reachable` checks entirely.
+        """
+        return bool(self._broken_links or self._isolated_nodes)
+
+    @property
+    def jittered(self) -> bool:
+        """Whether multiplicative transfer jitter is active (an RNG stream
+        is attached and ``params.jitter`` is nonzero)."""
+        return bool(self.params.jitter) and self._rng is not None
+
     # ------------------------------------------------------------------
     # cost model
     # ------------------------------------------------------------------
@@ -113,3 +128,26 @@ class Network:
         if self.params.jitter and self._rng is not None:
             base *= 1.0 + self.params.jitter * (2.0 * self._rng.random() - 1.0)
         return base
+
+    def transfer_time_round(self, node_a: int, nodes: np.ndarray,
+                            nbytes: int) -> np.ndarray:
+        """Whole-round alpha-beta pricing: ``node_a`` -> every node in
+        ``nodes``, ``nbytes`` each, in one vectorized call.
+
+        Element ``i`` is bit-identical to
+        ``transfer_time(node_a, nodes[i], nbytes)`` — the float expression
+        mirrors the scalar operation order exactly, so a round-priced ping
+        sweep or notice broadcast lands on the same virtual timestamps as
+        the historical per-destination loop.  With jitter enabled the
+        per-destination draws come from the same RNG stream in destination
+        order (the scalar loop's draw order), via the loop fallback.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if self.params.jitter and self._rng is not None:
+            return np.array(
+                [self.transfer_time(node_a, int(b), nbytes) for b in nodes],
+                dtype=np.float64,
+            )
+        lat = self.topology.latency_many(node_a, nodes)
+        bw = self.topology.bandwidth_many(node_a, nodes)
+        return (self.params.per_message_overhead + lat) + nbytes / bw

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 
 class Topology(abc.ABC):
     """Latency/bandwidth geometry between nodes."""
@@ -21,6 +23,23 @@ class Topology(abc.ABC):
     @abc.abstractmethod
     def bandwidth(self, node_a: int, node_b: int) -> float:
         """Point-to-point bandwidth in bytes/second between two nodes."""
+
+    # ------------------------------------------------------------------
+    # vectorized views (whole-round pricing)
+    # ------------------------------------------------------------------
+    def latency_many(self, node_a: int, nodes: np.ndarray) -> np.ndarray:
+        """Per-pair :meth:`latency` from ``node_a`` to every node in
+        ``nodes`` as a float64 array.  The base implementation loops (any
+        topology works); built-in topologies override it with closed-form
+        array expressions producing bit-identical values.
+        """
+        return np.array([self.latency(node_a, int(b)) for b in nodes],
+                        dtype=np.float64)
+
+    def bandwidth_many(self, node_a: int, nodes: np.ndarray) -> np.ndarray:
+        """Per-pair :meth:`bandwidth` from ``node_a``, vectorized."""
+        return np.array([self.bandwidth(node_a, int(b)) for b in nodes],
+                        dtype=np.float64)
 
 
 #: QDR InfiniBand-like defaults (LiMa cluster, paper Sect. V).
@@ -51,6 +70,14 @@ class UniformTopology(Topology):
 
     def bandwidth(self, node_a: int, node_b: int) -> float:
         return self._loop_bandwidth if node_a == node_b else self._bandwidth
+
+    def latency_many(self, node_a: int, nodes: np.ndarray) -> np.ndarray:
+        return np.where(np.asarray(nodes) == node_a,
+                        self._loop_latency, self._latency)
+
+    def bandwidth_many(self, node_a: int, nodes: np.ndarray) -> np.ndarray:
+        return np.where(np.asarray(nodes) == node_a,
+                        self._loop_bandwidth, self._bandwidth)
 
 
 class TwoLevelTopology(Topology):
@@ -89,3 +116,15 @@ class TwoLevelTopology(Topology):
 
     def bandwidth(self, node_a: int, node_b: int) -> float:
         return self._loop_bandwidth if node_a == node_b else self._bandwidth
+
+    def latency_many(self, node_a: int, nodes: np.ndarray) -> np.ndarray:
+        nodes = np.asarray(nodes)
+        same_switch = (nodes // self.nodes_per_switch) == self.switch_of(node_a)
+        out = np.where(same_switch,
+                       self.base_latency + 1 * self.hop_latency,
+                       self.base_latency + 3 * self.hop_latency)
+        return np.where(nodes == node_a, self._loop_latency, out)
+
+    def bandwidth_many(self, node_a: int, nodes: np.ndarray) -> np.ndarray:
+        return np.where(np.asarray(nodes) == node_a,
+                        self._loop_bandwidth, self._bandwidth)

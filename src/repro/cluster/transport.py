@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.sim import Channel, Event, Simulator
 from repro.cluster.network import Network
 
@@ -72,6 +74,56 @@ class Delivery:
     t_sent: float
 
 
+class SweepResults:
+    """Per-probe results of one batched ping sweep, materialized lazily.
+
+    Behaves like the sequential sweep's list of ``(target, alive,
+    t_start, t_end)`` tuples, but keeps the per-probe data as the arrays
+    the batched path already computed: consumers that only need the
+    (usually empty) failure list — the FD's hot loop — never touch a
+    per-target Python object, while iteration and indexing still yield
+    the exact tuples the scalar reference produces.
+    """
+
+    __slots__ = ("_targets", "_alive", "_starts", "_ends")
+
+    def __init__(self, targets: List[int], alive: np.ndarray,
+                 starts: np.ndarray, ends: np.ndarray) -> None:
+        self._targets = targets
+        self._alive = alive
+        self._starts = starts
+        self._ends = ends
+
+    @property
+    def failed(self) -> List[int]:
+        """Targets that did not answer, in ``targets`` order."""
+        if bool(self._alive.all()):
+            return []
+        return [self._targets[i] for i in np.flatnonzero(~self._alive)]
+
+    def __len__(self) -> int:
+        return len(self._targets)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        return (
+            self._targets[index],
+            bool(self._alive[index]),
+            float(self._starts[index]),
+            float(self._ends[index]),
+        )
+
+    def __iter__(self):
+        for i in range(len(self._targets)):
+            yield self[i]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (SweepResults, list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+
 class Endpoint:
     """Per-rank attachment point to the transport."""
 
@@ -105,6 +157,11 @@ class Transport:
         self.network = network
         self.params = params or TransportParams()
         self._endpoints: Dict[int, Endpoint] = {}
+        #: per-rank node id / death time as dense arrays (rank-indexed) —
+        #: the struct-of-arrays view behind whole-round pricing.  A rank
+        #: that never died has ``t_death = +inf``.
+        self._nodes_arr: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._t_death: np.ndarray = np.zeros(0, dtype=np.float64)
         #: per-source set of targets whose channel is known broken
         self._broken: Dict[int, Set[int]] = {}
         self._kill_handler: Optional[Callable[[int], None]] = None
@@ -131,6 +188,15 @@ class Transport:
         ep = Endpoint(rank, node_id)
         self._endpoints[rank] = ep
         self._broken[rank] = set()
+        if rank >= self._nodes_arr.shape[0]:
+            n_new = rank + 1
+            nodes = np.full(n_new, -1, dtype=np.int64)
+            nodes[: self._nodes_arr.shape[0]] = self._nodes_arr
+            self._nodes_arr = nodes
+            t_death = np.full(n_new, np.inf, dtype=np.float64)
+            t_death[: self._t_death.shape[0]] = self._t_death
+            self._t_death = t_death
+        self._nodes_arr[rank] = node_id
         return ep
 
     def endpoint(self, rank: int) -> Endpoint:
@@ -142,6 +208,8 @@ class Transport:
 
     def mark_dead(self, rank: int) -> None:
         """Machine hook: the process behind ``rank`` fail-stopped."""
+        if np.isinf(self._t_death[rank]):
+            self._t_death[rank] = self.sim.now
         self._endpoints[rank].alive = False
 
     # ------------------------------------------------------------------
@@ -258,6 +326,79 @@ class Transport:
         batch.ops.append((dst, lat + ack, apply_fn, done))
         return done
 
+    def post_rdma_round(
+        self,
+        src: int,
+        dsts: Sequence[int],
+        nbytes: int,
+        apply_fn: Callable[[int], Any],
+    ) -> Event:
+        """Fan one payload out to every rank in ``dsts`` as a single round
+        operation (whole-round alpha-beta pricing, one completion event).
+
+        Virtual-time equivalent of posting :meth:`post_rdma` once per
+        destination within one tick and waiting on all of them: data lands
+        at destination ``i`` at ``t + lat_i`` (liveness/reachability
+        re-checked per destination at its delivery time, exactly like the
+        sequential path), and the returned event completes ``(True, None)``
+        at ``max_i (t + lat_i) + ack_i`` iff *every* delivery succeeded.
+        Any dead or unreachable destination makes the event never fire —
+        the initiator's queue sees timeouts, just as a per-target broadcast
+        with one hung write would.
+
+        Event cost is O(distinct latency values), not O(destinations): on a
+        uniform fabric an entire notice broadcast is one delivery callback
+        plus one finalize.
+        """
+        dst_list = [int(d) for d in dsts]
+        self.stats["rdma"] += 1
+        self.stats["rdma_writes"] += len(dst_list)
+        done = Event(name=f"rdma_round:{src}")
+        n = len(dst_list)
+        if n == 0:
+            done.succeed((True, None))
+            return done
+        t0 = self.sim.now
+        net = self.network
+        src_node = self._endpoints[src].node_id
+        if net.jittered:
+            # interleaved per-destination draws: the exact RNG order of a
+            # sequential per-target post loop
+            lats = np.empty(n, dtype=np.float64)
+            acks = np.empty(n, dtype=np.float64)
+            for j, d in enumerate(dst_list):
+                lats[j] = self._latency(src, d, nbytes)
+                acks[j] = self._ack_latency(src, d)
+        else:
+            tgt_nodes = self._nodes_arr[np.asarray(dst_list, dtype=np.int64)]
+            lats = net.transfer_time_round(src_node, tgt_nodes, nbytes)
+            # symmetric-fabric ack pricing, see _post_ping_sweep_batched
+            acks = net.transfer_time_round(
+                src_node, tgt_nodes, self.params.small_message
+            )
+        t_done = float(((t0 + lats) + acks).max())
+        state = {"hung": False}
+
+        for lat_val in np.unique(lats).tolist():
+            idxs = np.nonzero(lats == lat_val)[0].tolist()
+
+            def deliver(idxs: List[int] = idxs) -> None:
+                for j in idxs:
+                    d = dst_list[j]
+                    if not self._path_up(src, d):
+                        state["hung"] = True
+                        continue
+                    apply_fn(d)
+
+            self.sim.schedule_at(t0 + lat_val, deliver)
+
+        def finalize() -> None:
+            if not state["hung"]:
+                done.succeed((True, None))
+
+        self.sim.schedule_at(t_done, finalize)
+        return done
+
     # ------------------------------------------------------------------
     # ping (gaspi_proc_ping extension) — the detection mechanism
     # ------------------------------------------------------------------
@@ -295,7 +436,11 @@ class Transport:
         return done
 
     def post_ping_sweep(
-        self, src: int, targets: Sequence[int], width: int = 1
+        self,
+        src: int,
+        targets: Sequence[int],
+        width: int = 1,
+        batched: bool = True,
     ) -> Event:
         """Probe a whole round of targets as one batched sweep.
 
@@ -304,6 +449,14 @@ class Transport:
         but the entire sweep is driven by transport-internal callbacks: the
         caller blocks once on the returned event instead of once per probe.
 
+        With ``batched=True`` (default) the whole round is priced in one
+        vectorized alpha-beta call (:meth:`Network.transfer_time_round`)
+        and driven by a *single* finalize callback — O(1) simulator events
+        per sweep instead of O(n) — reconstructing the exact per-probe
+        virtual times of the callback-chained path.  Jittered networks fall
+        back to the sequential path automatically (per-probe RNG draw order
+        cannot be reproduced from one post-time pricing call).
+
         Completes ``(True, results)`` where ``results`` is a list, in
         ``targets`` order, of ``(target, alive, t_start, t_end)`` tuples —
         the virtual start/resolve times each probe would have seen on the
@@ -311,10 +464,146 @@ class Transport:
         ``error_timeout`` wait for newly dead targets all preserved).
         """
         self.stats["ping"] += len(targets)
+        if batched and not self.network.jittered:
+            return self._post_ping_sweep_batched(
+                src, list(targets), max(1, int(width))
+            )
+        return self._post_ping_sweep_seq(src, list(targets), max(1, int(width)))
+
+    def _post_ping_sweep_batched(
+        self, src: int, targets: List[int], width: int
+    ) -> Event:
+        """Whole-round sweep: one pricing call, one finalize callback.
+
+        The sequential timeline is reconstructed in closed form: groups of
+        ``width`` probes start together, each group at the previous group's
+        max resolve time; a probe resolves after its RTT (or ``fast_fail``
+        for known-broken channels) and a newly-dead target adds
+        ``max(0, error_timeout - rtt)``.  Deaths *during* the sweep only
+        lengthen it, so a fixed-point iteration over the dead set (recomputed
+        from the rank death-time array at each callback, with re-arming when
+        the sweep end moves past ``now``) converges to the exact sequential
+        schedule.  A target is dead for a probe iff its death time is <= the
+        probe's resolve time (kills scheduled at equal virtual time carry
+        earlier sequence numbers and win the tie, matching the event order
+        of the sequential path).  Duplicate targets in one sweep are priced
+        off the post-time broken-set snapshot.
+        """
         done = Event(name=f"pingsweep:{src}")
-        targets = list(targets)
         n = len(targets)
-        width = max(1, int(width))
+        if n == 0:
+            done.succeed((True, []))
+            return done
+        p = self.params
+        t_post = self.sim.now
+        src_node = self._endpoints[src].node_id
+        tgt = np.asarray(targets, dtype=np.int64)
+        tgt_nodes = self._nodes_arr[tgt]
+        fwd = self.network.transfer_time_round(
+            src_node, tgt_nodes, p.small_message
+        )
+        # ack direction priced src->dst: the built-in fabrics are symmetric,
+        # so this equals transfer_time(dst, src, small_message) bit-for-bit
+        ack = self.network.transfer_time_round(
+            src_node, tgt_nodes, p.small_message
+        )
+        rtt = (p.ping_overhead + fwd) + ack
+        broken0 = self._broken[src]
+        if broken0:
+            is_broken = np.fromiter(
+                (t in broken0 for t in targets), dtype=bool, count=n
+            )
+        else:
+            is_broken = np.zeros(n, dtype=bool)
+        eff = np.where(is_broken, p.fast_fail, rtt)
+        extra = np.maximum(0.0, p.error_timeout - rtt)
+        starts = np.empty(n, dtype=np.float64)
+        ends = np.empty(n, dtype=np.float64)
+
+        def timeline(dead: np.ndarray) -> float:
+            if width == 1:
+                # pure chain: each probe starts at the previous probe's
+                # end, so the whole schedule is one sequential accumulation
+                # over the interleaved (eff, dead-extra) increments.  Alive
+                # probes contribute an exact 0.0 extra (r + 0.0 == r for
+                # the positive times here), so one cumsum reproduces the
+                # grouped loop below bit-for-bit without its O(n) Python
+                # iterations.
+                pad = np.where(dead & ~is_broken, extra, 0.0)
+                chain = np.empty(2 * n + 1, dtype=np.float64)
+                chain[0] = t_post
+                chain[1::2] = eff
+                chain[2::2] = pad
+                acc = np.cumsum(chain)
+                starts[:] = acc[0:-1:2]
+                ends[:] = acc[2::2]
+                return float(acc[-1])
+            s = t_post
+            for g0 in range(0, n, width):
+                g1 = min(g0 + width, n)
+                resolve = s + eff[g0:g1]
+                end = np.where(
+                    dead[g0:g1] & ~is_broken[g0:g1],
+                    resolve + extra[g0:g1],
+                    resolve,
+                )
+                starts[g0:g1] = s
+                ends[g0:g1] = end
+                s = float(end.max())
+            return s
+
+        def compute() -> Tuple[np.ndarray, float]:
+            # Fixed point over the dead set: deaths only push resolve times
+            # later, which can only mark *more* targets dead — monotone,
+            # so this converges in <= n rounds (practically <= deaths + 1).
+            t_death = self._t_death[tgt]
+            if self.network.partitioned:
+                unreach = np.fromiter(
+                    (
+                        not self.network.reachable(src_node, int(b))
+                        for b in tgt_nodes
+                    ),
+                    dtype=bool,
+                    count=n,
+                )
+            else:
+                unreach = np.zeros(n, dtype=bool)
+            dead = np.zeros(n, dtype=bool)
+            end = timeline(dead)
+            for _ in range(n + 1):
+                new_dead = (~is_broken) & (
+                    (t_death <= starts + eff) | unreach
+                )
+                if np.array_equal(new_dead, dead):
+                    break
+                dead = new_dead
+                end = timeline(dead)
+            return dead, end
+
+        def check() -> None:
+            dead, end = compute()
+            if end > self.sim.now:
+                # a death since the last estimate stretched the sweep
+                self.sim.schedule_at(end, check)
+                return
+            for d in tgt[dead].tolist():
+                self._broken[src].add(int(d))
+            alive_mask = ~(is_broken | dead)
+            done.succeed((True, SweepResults(
+                targets, alive_mask, starts.copy(), ends.copy()
+            )))
+
+        _, estimate = compute()
+        self.sim.schedule_at(estimate, check)
+        return done
+
+    def _post_ping_sweep_seq(
+        self, src: int, targets: List[int], width: int
+    ) -> Event:
+        """Callback-chained sweep (scalar reference; exercised for jittered
+        networks and by the vectorized-vs-scalar identity tests)."""
+        done = Event(name=f"pingsweep:{src}")
+        n = len(targets)
         out: List[Optional[Tuple[int, bool, float, float]]] = [None] * n
         p = self.params
 

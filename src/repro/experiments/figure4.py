@@ -60,8 +60,7 @@ def run_bare(spec: WorkloadSpec, checkpoints: bool) -> float:
         import numpy as np
 
         group = ctx.group_create(tag=0)
-        for rank in range(spec.n_workers):
-            ctx.group_add(group, rank)
+        ctx.group_add_many(group, range(spec.n_workers))
         ret = yield from ctx.group_commit(group)  # ftlint: disable=FT001 -- bare (non-FT) baseline by design: no fault plan, nothing to guard on
         assert ret is ReturnCode.SUCCESS
 

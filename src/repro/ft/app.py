@@ -30,6 +30,7 @@ from repro.checkpoint.manager import CheckpointLib
 from repro.checkpoint.pfs import ParallelFileSystem
 from repro.spmvm.ft_hooks import CommGuard, FailureAcknowledged
 from repro.spmvm.team import Team
+from repro.ft import rankstate
 from repro.ft.config import FTConfig
 from repro.ft.control import ControlBlock, FailureNotice
 from repro.ft.detector import FD_STOP, fd_process
@@ -202,14 +203,11 @@ def _announce_done(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock):
     """
     block.mark_done_local()
     statuses = block.statuses()
-    targets = [
-        r for r in range(cfg.n_ranks)
-        if statuses[r] in (Role.IDLE, Role.FD)
-    ]
+    ks = rankstate.kernels()
+    targets = ks.ranks_with_roles(statuses, (Role.IDLE, Role.FD))
     yield from block.broadcast(targets, timeout=cfg.comm_timeout)
-    for rank in range(cfg.n_ranks):
-        if statuses[rank] == Role.FD:
-            yield from ctx.passive_send(rank, FD_STOP, timeout=cfg.comm_timeout)
+    for rank in ks.ranks_with_roles(statuses, (Role.FD,)):
+        yield from ctx.passive_send(rank, FD_STOP, timeout=cfg.comm_timeout)
 
 
 def _rebuild_context(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
@@ -369,8 +367,7 @@ def ft_main(cfg: FTConfig, program: FTProgram,
 
 def _initial_group(ctx: GaspiContext, cfg: FTConfig):
     group = ctx.group_create(tag=0)
-    for rank in range(cfg.n_workers):
-        ctx.group_add(group, rank)
+    rankstate.kernels().group_fill(group, range(cfg.n_workers))
     return group
 
 

@@ -27,11 +27,12 @@ takeover, so rescues and survivors cannot disagree about the new mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.gaspi.context import GaspiContext
+from repro.ft import rankstate
 from repro.ft.config import FTConfig
 from repro.ft.roles import Role
 
@@ -99,6 +100,14 @@ class ControlBlock:
         cells = self.cells[self._off_map : self._off_map + self.cfg.n_workers]
         return {logical: int(phys) for logical, phys in enumerate(cells)}
 
+    def rank_map_array(self) -> np.ndarray:
+        """Logical->physical map as a dense int64 array (SoA view copy);
+        index = logical worker rank, value = physical rank."""
+        return np.array(
+            self.cells[self._off_map : self._off_map + self.cfg.n_workers],
+            dtype=np.int64,
+        )
+
     def failed_list(self) -> List[int]:
         n = int(self.cells[3])
         return [int(r) for r in self.cells[self._off_failed : self._off_failed + n]]
@@ -111,12 +120,20 @@ class ControlBlock:
     # initialisation (every rank, at startup)
     # ------------------------------------------------------------------
     def init_local(self) -> None:
-        """Fill the block with the initial roles and identity mapping."""
+        """Fill the block with the initial roles and identity mapping.
+
+        Array fills rather than per-rank loops; equivalent to writing
+        ``cfg.role_of(rank)`` for every rank (workers, then idles, with
+        the last rank as FD) and the identity map.
+        """
         self.cells[:] = 0
-        for rank in range(self.cfg.n_ranks):
-            self.cells[self._off_status + rank] = int(self.cfg.role_of(rank))
-        for logical in range(self.cfg.n_workers):
-            self.cells[self._off_map + logical] = logical
+        statuses = self.cells[self._off_status : self._off_status + self.cfg.n_ranks]
+        statuses[:] = int(Role.IDLE)
+        statuses[: self.cfg.n_workers] = int(Role.WORKING)
+        statuses[self.cfg.fd_rank] = int(Role.FD)
+        self.cells[self._off_map : self._off_map + self.cfg.n_workers] = np.arange(
+            self.cfg.n_workers, dtype=np.int64
+        )
 
     # ------------------------------------------------------------------
     # worker-side acknowledgment (the zero-cost check)
@@ -140,8 +157,14 @@ class ControlBlock:
     # FD-side composition and broadcast
     # ------------------------------------------------------------------
     def compose_notice(self, epoch: int, failed: List[int], rescues: List[int],
-                       statuses: np.ndarray, rank_map: Dict[int, int]) -> None:
-        """Write a notice into the *local* block (the FD's staging copy)."""
+                       statuses: np.ndarray,
+                       rank_map: Union[Dict[int, int], np.ndarray]) -> None:
+        """Write a notice into the *local* block (the FD's staging copy).
+
+        ``rank_map`` is either the historical logical->physical dict or a
+        dense array indexed by logical rank (the SoA detector state) —
+        both land in the same cells.
+        """
         max_failed = self.cfg.n_ranks
         if len(failed) > max_failed:
             raise ValueError(f"{len(failed)} failures exceed capacity {max_failed}")
@@ -154,8 +177,11 @@ class ControlBlock:
         self.cells[self._off_rescues : self._off_rescues + max_failed] = 0
         self.cells[self._off_rescues : self._off_rescues + len(rescues)] = rescues
         self.cells[self._off_status : self._off_status + self.cfg.n_ranks] = statuses
-        for logical, phys in rank_map.items():
-            self.cells[self._off_map + logical] = phys
+        if isinstance(rank_map, np.ndarray):
+            self.cells[self._off_map : self._off_map + len(rank_map)] = rank_map
+        else:
+            for logical, phys in rank_map.items():
+                self.cells[self._off_map + logical] = phys
 
     def mark_done_local(self) -> None:
         self.cells[2] = 1
@@ -164,28 +190,45 @@ class ControlBlock:
                   timeout: float = 1.0):
         """Generator: one-sided-write this block into every target rank.
 
-        Writes to dead targets simply never complete; the queue is purged
-        afterwards so they cannot wedge later broadcasts.
+        In the vectorized rank-state mode the whole fan-out is one
+        round-priced ``write_round`` — a single queue slot and O(1)
+        simulator events on a uniform fabric, with identical virtual
+        timing (data lands per target at its own latency; a dead target
+        hangs the round's completion so the final wait still times out
+        and purges).  The scalar reference mode posts one write per
+        target; writes to dead targets simply never complete and the
+        queue is purged afterwards so they cannot wedge later broadcasts.
         """
         from repro.gaspi.constants import ReturnCode
 
         nbytes = self.n_cells * _I8
-        for target in targets:
-            if target == self.ctx.rank:
-                continue
-            ret = self.ctx.write(FT_SEGMENT, 0, nbytes, target,
-                                 FT_SEGMENT, 0, queue_id)
+        dsts = [t for t in targets if t != self.ctx.rank]
+        if dsts and rankstate.kernels().round_broadcast:
+            ret = self.ctx.write_round(FT_SEGMENT, 0, nbytes, dsts,
+                                       FT_SEGMENT, 0, queue_id)
             if ret is not ReturnCode.SUCCESS:
-                # queue full (e.g. many targets, or wedged by writes to
-                # dead ranks): drain — purge on timeout — and repost, so
-                # no healthy rank silently misses the notice
+                # queue full (wedged by ops stuck on dead ranks): drain —
+                # purge on timeout — and repost
                 drained = yield from self.ctx.wait(queue_id, timeout)
                 if drained is not ReturnCode.SUCCESS:
                     self.ctx.queue_purge(queue_id)
-                retry = self.ctx.write(FT_SEGMENT, 0, nbytes, target,
-                                       FT_SEGMENT, 0, queue_id)
-                if retry is not ReturnCode.SUCCESS:  # pragma: no cover
-                    continue  # freshly purged queue still full: give up
+                self.ctx.write_round(FT_SEGMENT, 0, nbytes, dsts,
+                                     FT_SEGMENT, 0, queue_id)
+        else:
+            for target in dsts:
+                ret = self.ctx.write(FT_SEGMENT, 0, nbytes, target,
+                                     FT_SEGMENT, 0, queue_id)
+                if ret is not ReturnCode.SUCCESS:
+                    # queue full (e.g. many targets, or wedged by writes to
+                    # dead ranks): drain — purge on timeout — and repost, so
+                    # no healthy rank silently misses the notice
+                    drained = yield from self.ctx.wait(queue_id, timeout)
+                    if drained is not ReturnCode.SUCCESS:
+                        self.ctx.queue_purge(queue_id)
+                    retry = self.ctx.write(FT_SEGMENT, 0, nbytes, target,
+                                           FT_SEGMENT, 0, queue_id)
+                    if retry is not ReturnCode.SUCCESS:  # pragma: no cover
+                        continue  # freshly purged queue still full: give up
         ret = yield from self.ctx.wait(queue_id, timeout)
         if ret is not ReturnCode.SUCCESS:
             self.ctx.queue_purge(queue_id)

@@ -42,11 +42,12 @@ resolution and a ``broadcast_flags`` span covering the notice broadcast.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Generator, List, Optional, Tuple
 
 from repro.sim import Sleep
 from repro.gaspi.constants import GASPI_TEST, ReturnCode
 from repro.gaspi.context import GaspiContext
+from repro.ft import rankstate
 from repro.ft.config import FTConfig
 from repro.ft.control import ControlBlock
 from repro.ft.roles import Role
@@ -81,7 +82,8 @@ class FDStats:
         return sum(self.scan_times) / len(self.scan_times) if self.scan_times else 0.0
 
 
-def scan_once(ctx: GaspiContext, targets: List[int], fd_threads: int = 1):
+def scan_once(ctx: GaspiContext, targets: List[int], fd_threads: int = 1,
+              batched: bool = True) -> Generator[Any, Any, List[int]]:
     """Generator: ping every target; returns the list that failed.
 
     The whole round runs as **one** batched probe sweep
@@ -90,15 +92,24 @@ def scan_once(ctx: GaspiContext, targets: List[int], fd_threads: int = 1):
     behaviour), sequentially between groups — but the FD process blocks a
     single time for the round instead of once per target.  Per-ping
     ``ping`` tracer events are emitted from the sweep's recorded per-probe
-    timings, so observability output is unchanged.
+    timings, so observability output is unchanged.  ``batched=False``
+    drives the round through the scalar callback-chained sweep (the
+    rank-state reference mode).
     """
     failed: List[int] = []
     if not targets:
         return failed
-    ret, results = yield from ctx.proc_ping_sweep(targets, fd_threads)
+    ret, results = yield from ctx.proc_ping_sweep(
+        targets, fd_threads, batched=batched
+    )
     if ret is not ReturnCode.SUCCESS:
         return failed
     tracer = ctx.tracer
+    fast_failed = getattr(results, "failed", None)
+    if fast_failed is not None and not tracer.enabled:
+        # all-alive rounds (the overwhelmingly common case) finish here
+        # without touching a single per-target Python object
+        return list(fast_failed)
     for rank, alive, t0, t1 in results:
         if not alive:
             failed.append(rank)
@@ -132,8 +143,13 @@ def fd_process(ctx: GaspiContext, cfg: FTConfig,
     if takeover:
         statuses[ctx.rank] = Role.FD
     pool = SparePool(statuses, ctx.rank)
-    rank_map = block.rank_map()
-    avoid = {int(r) for r in range(cfg.n_ranks) if statuses[r] == Role.FAILED}
+    ks = rankstate.kernels()
+    rank_map_arr = block.rank_map_array()
+    avoid = ks.avoid_mask(statuses)
+    # S1: the target list is derived once from the avoid mask and reused
+    # across scans; it is invalidated only when the mask changes (the
+    # scalar reference rebuilds it every round, as the pre-SoA code did)
+    targets: Optional[List[int]] = None
     epoch = block.epoch
     stats = FDStats()
 
@@ -146,21 +162,20 @@ def fd_process(ctx: GaspiContext, cfg: FTConfig,
 
         yield Sleep(cfg.fd_scan_period)
 
-        targets = [
-            r for r in range(cfg.n_ranks)
-            if r != ctx.rank and r not in avoid
-        ]
+        if targets is None or ks.derive_targets_each_scan:
+            targets = ks.scan_targets(avoid, ctx.rank)
         t0 = ctx.now
         yield Sleep(cfg.scan_setup_overhead)
-        failed_now = yield from scan_once(ctx, targets, cfg.fd_threads)
+        failed_now = yield from scan_once(ctx, targets, cfg.fd_threads,
+                                          batched=ks.batched_sweep)
         stats.scan_times.append(ctx.now - t0)
         if not failed_now:
             continue
 
         t_detected = ctx.now
-        avoid.update(failed_now)
-        failed_workers = sorted(r for r in failed_now if r in rank_map.values())
-        failed_others = [r for r in failed_now if r not in failed_workers]
+        ks.mark_avoided(avoid, failed_now)
+        targets = None  # avoid mask changed: re-derive before the next scan
+        failed_workers, failed_others = ks.split_failed(failed_now, rank_map_arr)
         for rank in failed_others:
             statuses[rank] = Role.FAILED  # dead idles just shrink the pool
 
@@ -169,16 +184,11 @@ def fd_process(ctx: GaspiContext, cfg: FTConfig,
 
         assignment = pool.assign(failed_workers)
         epoch += 1
-        rank_map = {
-            logical: dict(zip(assignment.failed, assignment.rescues)).get(phys, phys)
-            for logical, phys in rank_map.items()
-        }
+        rank_map_arr = ks.apply_rescues(rank_map_arr, assignment.failed,
+                                        assignment.rescues)
         block.compose_notice(epoch, assignment.failed, assignment.rescues,
-                             statuses, rank_map)
-        healthy = [
-            r for r in range(cfg.n_ranks)
-            if r not in avoid and statuses[r] != Role.FAILED
-        ]
+                             statuses, rank_map_arr)
+        healthy = ks.healthy_targets(avoid, statuses)
         tracer = ctx.tracer
         if tracer.enabled:
             tracer.emit(t_detected, ctx.rank, "detection", epoch=epoch,

@@ -1,0 +1,279 @@
+"""Struct-of-arrays rank-state kernels (with a retained scalar reference).
+
+The FT layer's per-rank bookkeeping — who is failed, who is idle, which
+physical rank backs which logical worker — used to be dict/list scans
+costing ``O(n_ranks)`` Python iterations per detector round and
+``O(n_ranks^2)`` per group rebuild.  At the paper's 256-node scale (and
+the 1024–4096 scans ROADMAP item 1 asks for) those loops dominate wall
+time.  This module concentrates every such sweep into named kernels over
+NumPy arrays: a detector scan, a rescue assignment, and a group rebuild
+each cost a handful of set-difference/nonzero array ops.
+
+Two interchangeable kernel sets are provided:
+
+* ``vectorized`` (default) — the NumPy struct-of-arrays fast path;
+* ``scalar`` — the pre-vectorization reference implementation, kept
+  callable so tests can assert *result identity* across randomized
+  failure patterns and the weak-scaling bench can measure the true
+  seed-equivalent baseline.
+
+Both sets produce identical values (plain Python ints/lists out, so no
+``np.int64`` leaks into protocol state); they differ only in cost.  Switch
+globally with :func:`set_mode` or temporarily with :func:`use`::
+
+    with rankstate.use("scalar"):
+        outcome = run_ft_scenario(...)
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ft.roles import Role
+
+MODES = ("vectorized", "scalar")
+
+_mode = "vectorized"
+
+
+def mode() -> str:
+    """The currently active kernel-set name."""
+    return _mode
+
+
+def set_mode(new_mode: str) -> None:
+    """Select the kernel set globally (``vectorized`` or ``scalar``)."""
+    global _mode
+    if new_mode not in MODES:
+        raise ValueError(f"unknown rankstate mode {new_mode!r}; pick from {MODES}")
+    _mode = new_mode
+
+
+@contextlib.contextmanager
+def use(new_mode: str) -> Iterator[None]:
+    """Temporarily select a kernel set (restores the previous one)."""
+    previous = _mode
+    set_mode(new_mode)
+    try:
+        yield
+    finally:
+        set_mode(previous)
+
+
+def kernels() -> "type[VectorizedKernels]":
+    """The active kernel set."""
+    return VectorizedKernels if _mode == "vectorized" else ScalarKernels
+
+
+class VectorizedKernels:
+    """NumPy struct-of-arrays kernels (the fast path)."""
+
+    #: whether the detector must re-derive its target list on every scan
+    #: (the scalar reference rebuilt the comprehension each round; the
+    #: vectorized detector derives once and reuses until a failure)
+    derive_targets_each_scan = False
+    #: whether ping sweeps use the transport's single-callback batched path
+    batched_sweep = True
+    #: whether notice broadcasts use the round-priced ``write_round`` fan
+    round_broadcast = True
+
+    # ------------------------------------------------------------------
+    # detector state
+    # ------------------------------------------------------------------
+    @staticmethod
+    def avoid_mask(statuses: np.ndarray) -> np.ndarray:
+        """Boolean "known dead" mask from the status array."""
+        return np.asarray(statuses) == int(Role.FAILED)
+
+    @staticmethod
+    def mark_avoided(avoid: np.ndarray, ranks: Sequence[int]) -> None:
+        avoid[np.asarray(list(ranks), dtype=np.int64)] = True
+
+    @staticmethod
+    def scan_targets(avoid: np.ndarray, self_rank: int) -> List[int]:
+        """Ranks the FD must ping: everyone not itself and not avoided."""
+        mask = ~avoid
+        mask[self_rank] = False
+        targets: List[int] = np.flatnonzero(mask).tolist()
+        return targets
+
+    @staticmethod
+    def split_failed(
+        failed_now: Sequence[int], rank_map_arr: np.ndarray
+    ) -> Tuple[List[int], List[int]]:
+        """Partition a failure batch into (sorted workers, other ranks)."""
+        f = np.asarray(list(failed_now), dtype=np.int64)
+        worker = np.isin(f, rank_map_arr)
+        failed_workers: List[int] = np.sort(f[worker]).tolist()
+        failed_others: List[int] = f[~worker].tolist()
+        return failed_workers, failed_others
+
+    @staticmethod
+    def healthy_targets(avoid: np.ndarray, statuses: np.ndarray) -> List[int]:
+        """Broadcast targets: not avoided and not status-FAILED."""
+        mask = (~avoid) & (np.asarray(statuses) != int(Role.FAILED))
+        healthy: List[int] = np.flatnonzero(mask).tolist()
+        return healthy
+
+    # ------------------------------------------------------------------
+    # spares / roles
+    # ------------------------------------------------------------------
+    @staticmethod
+    def idle_ranks(statuses: np.ndarray) -> List[int]:
+        idles: List[int] = np.flatnonzero(
+            np.asarray(statuses) == int(Role.IDLE)
+        ).tolist()
+        return idles
+
+    @staticmethod
+    def ranks_with_roles(statuses: np.ndarray, roles: Sequence[Role]) -> List[int]:
+        s = np.asarray(statuses)
+        mask = np.zeros(s.shape, dtype=bool)
+        for role in roles:
+            mask |= s == int(role)
+        ranks: List[int] = np.flatnonzero(mask).tolist()
+        return ranks
+
+    # ------------------------------------------------------------------
+    # rank map
+    # ------------------------------------------------------------------
+    @staticmethod
+    def apply_rescues(
+        rank_map_arr: np.ndarray, failed: Sequence[int], rescues: Sequence[int]
+    ) -> np.ndarray:
+        """New map array with ``failed[i]`` replaced by ``rescues[i]``.
+
+        Pairing truncates to the shorter list (the unrecoverable-batch
+        case), matching the historical ``dict(zip(failed, rescues))``.
+        """
+        n = int(np.max(rank_map_arr)) + 1 if rank_map_arr.size else 0
+        k = min(len(failed), len(rescues))
+        hi = max(n, (max(failed[:k]) + 1) if k else 0)
+        repl = np.arange(hi, dtype=np.int64)
+        if k:
+            repl[np.asarray(list(failed[:k]), dtype=np.int64)] = np.asarray(
+                list(rescues[:k]), dtype=np.int64
+            )
+        return repl[rank_map_arr]
+
+    @staticmethod
+    def map_members(rank_map: Dict[int, int]) -> List[int]:
+        """Sorted physical members of a logical->physical map."""
+        members: List[int] = np.sort(
+            np.fromiter(rank_map.values(), dtype=np.int64, count=len(rank_map))
+        ).tolist()
+        return members
+
+    @staticmethod
+    def logical_in_map(rank_map: Dict[int, int], phys: int) -> Optional[int]:
+        """The logical rank mapped to ``phys`` (None when absent)."""
+        arr = np.fromiter(rank_map.values(), dtype=np.int64, count=len(rank_map))
+        hits = np.flatnonzero(arr == phys)
+        if hits.size == 0:
+            return None
+        keys = list(rank_map.keys())
+        return keys[int(hits[0])]
+
+    # ------------------------------------------------------------------
+    # group rebuild
+    # ------------------------------------------------------------------
+    @staticmethod
+    def group_fill(group: "object", members: Sequence[int]) -> None:
+        """Populate a fresh group with ``members`` (batched)."""
+        group.add_many(members)  # type: ignore[attr-defined]
+
+
+class ScalarKernels:
+    """The pre-vectorization loops, retained as the reference baseline."""
+
+    derive_targets_each_scan = True
+    batched_sweep = False
+    round_broadcast = False
+
+    @staticmethod
+    def avoid_mask(statuses: np.ndarray) -> np.ndarray:
+        n = len(statuses)
+        mask = np.zeros(n, dtype=bool)
+        for r in range(n):
+            if statuses[r] == Role.FAILED:
+                mask[r] = True
+        return mask
+
+    @staticmethod
+    def mark_avoided(avoid: np.ndarray, ranks: Sequence[int]) -> None:
+        for r in ranks:
+            avoid[int(r)] = True
+
+    @staticmethod
+    def scan_targets(avoid: np.ndarray, self_rank: int) -> List[int]:
+        return [
+            r for r in range(len(avoid))
+            if r != self_rank and not avoid[r]
+        ]
+
+    @staticmethod
+    def split_failed(
+        failed_now: Sequence[int], rank_map_arr: np.ndarray
+    ) -> Tuple[List[int], List[int]]:
+        values = [int(p) for p in rank_map_arr]
+        failed_workers = sorted(int(r) for r in failed_now if int(r) in values)
+        failed_others = [int(r) for r in failed_now if int(r) not in failed_workers]
+        return failed_workers, failed_others
+
+    @staticmethod
+    def healthy_targets(avoid: np.ndarray, statuses: np.ndarray) -> List[int]:
+        return [
+            r for r in range(len(avoid))
+            if not avoid[r] and statuses[r] != Role.FAILED
+        ]
+
+    @staticmethod
+    def idle_ranks(statuses: np.ndarray) -> List[int]:
+        return [
+            int(r) for r in range(len(statuses))
+            if statuses[r] == Role.IDLE
+        ]
+
+    @staticmethod
+    def ranks_with_roles(statuses: np.ndarray, roles: Sequence[Role]) -> List[int]:
+        wanted = tuple(int(role) for role in roles)
+        return [
+            int(r) for r in range(len(statuses))
+            if int(statuses[r]) in wanted
+        ]
+
+    @staticmethod
+    def apply_rescues(
+        rank_map_arr: np.ndarray, failed: Sequence[int], rescues: Sequence[int]
+    ) -> np.ndarray:
+        replacement = dict(zip((int(f) for f in failed),
+                               (int(r) for r in rescues)))
+        return np.array(
+            [replacement.get(int(p), int(p)) for p in rank_map_arr],
+            dtype=np.int64,
+        )
+
+    @staticmethod
+    def map_members(rank_map: Dict[int, int]) -> List[int]:
+        return sorted(int(p) for p in rank_map.values())
+
+    @staticmethod
+    def logical_in_map(rank_map: Dict[int, int], phys: int) -> Optional[int]:
+        for logical, p in rank_map.items():
+            if p == phys:
+                return logical
+        return None
+
+    @staticmethod
+    def group_fill(group: "object", members: Sequence[int]) -> None:
+        # replicate the historical per-add list-membership scan so the
+        # scalar baseline prices the O(n^2) rebuild it actually had
+        seen: List[int] = []
+        for r in members:
+            if int(r) in seen:  # pragma: no cover - callers pass unique ranks
+                raise ValueError(f"rank {r} already in group")
+            seen.append(int(r))
+            group.add(int(r))  # type: ignore[attr-defined]

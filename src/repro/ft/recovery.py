@@ -40,6 +40,7 @@ from repro.gaspi.constants import ReturnCode
 from repro.gaspi.context import GaspiContext
 from repro.gaspi.groups import Group
 from repro.checkpoint.neighbor import neighbor_of
+from repro.ft import rankstate
 from repro.ft.config import FTConfig
 from repro.ft.control import ControlBlock, FailureNotice
 from repro.ft.rankmap import ActiveRankMap
@@ -88,12 +89,9 @@ def perform_recovery(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
     tracer = ctx.tracer
     t_start = ctx.now
     while True:
+        ks = rankstate.kernels()
         rank_map = dict(notice.rank_map)
-        my_logical = None
-        for logical, phys in rank_map.items():
-            if phys == ctx.rank:
-                my_logical = logical
-                break
+        my_logical = ks.logical_in_map(rank_map, ctx.rank)
         if my_logical is None:
             raise RuntimeError(
                 f"rank {ctx.rank} performed recovery but is not in the new "
@@ -120,8 +118,7 @@ def perform_recovery(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
 
         t_rebuild = ctx.now
         group = ctx.group_create(tag=notice.epoch)
-        for phys in sorted(rank_map.values()):
-            ctx.group_add(group, phys)
+        ks.group_fill(group, ks.map_members(rank_map))
 
         superseded = False
         while True:

@@ -17,6 +17,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.ft import rankstate
 from repro.ft.roles import Role
 
 
@@ -47,7 +48,7 @@ class SparePool:
         self.fd_rank = fd_rank
 
     def idle_ranks(self) -> List[int]:
-        return [int(r) for r in np.nonzero(self.statuses == Role.IDLE)[0]]
+        return rankstate.kernels().idle_ranks(self.statuses)
 
     def assign(self, failed: Sequence[int]) -> RescueAssignment:
         """Pick rescues for ``failed`` (lowest idle ranks first).

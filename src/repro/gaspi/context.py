@@ -64,8 +64,7 @@ class GaspiContext:
             Queue(i, world.config.queue_depth) for i in range(world.config.n_queues)
         ]
         self.group_all = Group(tag=-1)
-        for r in range(world.n_ranks):
-            self.group_all.add(r)
+        self.group_all.add_many(range(world.n_ranks))
         self.group_all.committed = True
 
     # ------------------------------------------------------------------
@@ -299,6 +298,40 @@ class GaspiContext:
         queue.post(done)
         return ReturnCode.SUCCESS
 
+    def write_round(self, segment_id: int, offset: int, size: int,
+                    dst_ranks: Sequence[int], remote_segment: int,
+                    remote_offset: int, queue_id: int = 0) -> ReturnCode:
+        """Round-priced broadcast put: one local range to many ranks.
+
+        Virtual-time equivalent of calling :meth:`write` once per rank in
+        ``dst_ranks`` within one tick — data lands at each target at its
+        own delivery latency, liveness re-checked per target — but the fan
+        costs one queue slot and O(1) simulator events on a uniform fabric
+        (:meth:`Transport.post_rdma_round`).  The single completion fires
+        only when *every* target took the data; a dead target hangs it, so
+        ``wait`` returns ``TIMEOUT`` exactly like the per-target loop.
+        This is the notice-broadcast fast path of the FT control block.
+        """
+        queue = self._queue(queue_id)
+        if queue.full:
+            return ReturnCode.QUEUE_FULL
+        if not dst_ranks:
+            raise GaspiUsageError("write_round needs at least one target")
+        for dst_rank in dst_ranks:
+            self._remote(dst_rank)
+        data = self.segments.get(segment_id).read_bytes(offset, size)
+
+        def apply(dst_rank: int) -> None:
+            self.world.contexts[dst_rank].segments.get(remote_segment).write_bytes(
+                remote_offset, data
+            )
+
+        done = self.world.transport.post_rdma_round(
+            self.rank, list(dst_ranks), size, apply
+        )
+        queue.post(done)
+        return ReturnCode.SUCCESS
+
     def read_list(self, entries: Sequence[ListEntry], src_rank: int,
                   queue_id: int = 0) -> ReturnCode:
         """``gaspi_read_list``: several gets from one rank as one request."""
@@ -517,6 +550,15 @@ class GaspiContext:
         """``gaspi_group_add``."""
         group.add(rank)
 
+    @staticmethod
+    def group_add_many(group: Group, ranks: Sequence[int]) -> None:
+        """Batched ``gaspi_group_add``: ingest a whole membership array.
+
+        Same validation semantics as per-rank :meth:`group_add` at O(n)
+        total cost — the vectorized group-rebuild path.
+        """
+        group.add_many(ranks)
+
     def group_commit(self, group: Group, timeout: float = GASPI_BLOCK,
                      ) -> Generator[Any, Any, ReturnCode]:
         """``gaspi_group_commit`` (generator): blocking collective.
@@ -623,7 +665,7 @@ class GaspiContext:
 
     def proc_ping_sweep(
         self, targets: Sequence[int], width: int = 1,
-        timeout: float = GASPI_BLOCK,
+        timeout: float = GASPI_BLOCK, batched: bool = True,
     ) -> Generator[
         Any, Any,
         Tuple[ReturnCode, Optional[List[Tuple[int, bool, float, float]]]],
@@ -637,17 +679,25 @@ class GaspiContext:
         tuples in ``targets`` order; dead targets are marked ``CORRUPT`` in
         the state vector exactly as :meth:`proc_ping` would have.  On
         ``TIMEOUT`` the results are ``None`` and no state is updated.
+        ``batched=False`` forces the callback-chained scalar sweep (the
+        retained reference implementation).
         """
-        for dst_rank in targets:
-            self._remote(dst_rank)
-        done = self.world.transport.post_ping_sweep(self.rank, targets, width)
+        if targets and not (0 <= min(targets)
+                            and max(targets) < self.world.n_ranks):
+            for dst_rank in targets:  # reuse _remote's exact error text
+                self._remote(dst_rank)
+        done = self.world.transport.post_ping_sweep(
+            self.rank, targets, width, batched=batched
+        )
         ok, res = yield WaitEvent(done, _clip_timeout(timeout))
         if not ok:
             return (ReturnCode.TIMEOUT, None)
         _ok, results = res
-        for dst_rank, alive, _t0, _t1 in results:
-            if not alive:
-                self.state_vector.mark_corrupt(dst_rank)
+        failed = getattr(results, "failed", None)
+        if failed is None:  # plain tuple list from the sequential sweep
+            failed = [r for r, alive, _t0, _t1 in results if not alive]
+        for dst_rank in failed:
+            self.state_vector.mark_corrupt(dst_rank)
         return (ReturnCode.SUCCESS, results)
 
     def note_ping_result(self, dst_rank: int, alive: bool) -> ReturnCode:

@@ -39,7 +39,7 @@ Event taxonomy (see ``OBSERVABILITY.md`` for the full glossary)::
 from __future__ import annotations
 
 from collections import namedtuple
-from typing import Any, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 # ----------------------------------------------------------------------
 # event taxonomy
@@ -72,29 +72,82 @@ TraceEvent = namedtuple("TraceEvent", ("t", "rank", "etype", "dur", "fields"))
 #: lifecycle events while bounding a runaway ``solver_iter`` stream
 DEFAULT_CAPACITY = 1 << 16
 
+#: high-volume event types routed to the (opt-in) bulk ring: at 256+ rank
+#: scale the per-probe pings and solver iterations outnumber lifecycle
+#: milestones by orders of magnitude and would evict them
+BULK_ETYPES = frozenset({PING, SOLVER_ITER})
+
+#: internal ring slot: (global emission sequence, event) — the sequence
+#: lets :meth:`Tracer.events` interleave the two rings in emission order
+_Slot = Tuple[int, TraceEvent]
+
 
 class Tracer:
-    """Append-only ring buffer of :class:`TraceEvent` records."""
+    """Append-only ring buffer of :class:`TraceEvent` records.
 
-    __slots__ = ("_buf", "_capacity", "_n")
+    With ``bulk_capacity`` set, high-volume event types
+    (:data:`BULK_ETYPES`) are segregated into their own ring of that size,
+    so a 4096-rank ping storm can never evict the rare lifecycle
+    milestones from the main ring.  Eviction is **never silent**: every
+    overwritten event is counted, per event type
+    (:attr:`dropped_by_type`), in aggregate (:attr:`dropped`) and for the
+    bulk ring alone (:attr:`dropped_bulk`).
+    """
+
+    __slots__ = ("_buf", "_capacity", "_n", "_bulk_buf", "_bulk_capacity",
+                 "_bulk_n", "_seq", "_dropped_by_type", "_dropped_bulk")
 
     #: hot-path guard: ``if tracer.enabled: tracer.emit(...)``
     enabled = True
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 bulk_capacity: Optional[int] = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
-        self._buf: List[Optional[TraceEvent]] = [None] * capacity
+        if bulk_capacity is not None and bulk_capacity < 1:
+            raise ValueError(
+                f"bulk_capacity must be positive, got {bulk_capacity}"
+            )
+        self._buf: List[Optional[_Slot]] = [None] * capacity
         self._capacity = capacity
-        self._n = 0  # total events ever emitted
+        self._n = 0  # events ever routed to the main ring
+        self._bulk_capacity = bulk_capacity
+        self._bulk_buf: List[Optional[_Slot]] = (
+            [None] * bulk_capacity if bulk_capacity else []
+        )
+        self._bulk_n = 0  # events ever routed to the bulk ring
+        self._seq = 0  # total events ever emitted (both rings)
+        self._dropped_by_type: Dict[str, int] = {}
+        self._dropped_bulk = 0
 
     # ------------------------------------------------------------------
     def emit(self, t: float, rank: int, etype: str, dur: float = 0.0,
              **fields: Any) -> None:
         """Record one event; O(1), overwrites the oldest when full."""
-        n = self._n
-        self._buf[n % self._capacity] = TraceEvent(t, rank, etype, dur, fields)
-        self._n = n + 1
+        seq = self._seq
+        self._seq = seq + 1
+        record = (seq, TraceEvent(t, rank, etype, dur, fields))
+        if self._bulk_capacity is not None and etype in BULK_ETYPES:
+            slot = self._bulk_n % self._bulk_capacity
+            old = self._bulk_buf[slot]
+            if old is not None:
+                dropped_type = old[1].etype
+                self._dropped_by_type[dropped_type] = (
+                    self._dropped_by_type.get(dropped_type, 0) + 1
+                )
+                self._dropped_bulk += 1
+            self._bulk_buf[slot] = record
+            self._bulk_n += 1
+            return
+        slot = self._n % self._capacity
+        old = self._buf[slot]
+        if old is not None:
+            dropped_type = old[1].etype
+            self._dropped_by_type[dropped_type] = (
+                self._dropped_by_type.get(dropped_type, 0) + 1
+            )
+        self._buf[slot] = record
+        self._n += 1
 
     # ------------------------------------------------------------------
     @property
@@ -102,33 +155,66 @@ class Tracer:
         return self._capacity
 
     @property
+    def bulk_capacity(self) -> Optional[int]:
+        """Bulk-ring size (None = single-ring mode)."""
+        return self._bulk_capacity
+
+    @property
     def total_emitted(self) -> int:
         """Events ever emitted, including overwritten ones."""
-        return self._n
+        return self._seq
 
     @property
     def dropped(self) -> int:
-        """Events lost to ring wraparound."""
-        return max(0, self._n - self._capacity)
+        """Events lost to ring wraparound (both rings)."""
+        return sum(self._dropped_by_type.values())
+
+    @property
+    def dropped_bulk(self) -> int:
+        """Events lost from the bulk ring alone."""
+        return self._dropped_bulk
+
+    @property
+    def dropped_by_type(self) -> Dict[str, int]:
+        """Exact per-event-type eviction counts."""
+        return dict(self._dropped_by_type)
 
     def __len__(self) -> int:
-        return min(self._n, self._capacity)
+        retained = min(self._n, self._capacity)
+        if self._bulk_capacity is not None:
+            retained += min(self._bulk_n, self._bulk_capacity)
+        return retained
+
+    def _ring_slots(self, buf: List[Optional[_Slot]], n: int,
+                    cap: int) -> List[_Slot]:
+        if n <= cap:
+            return [s for s in buf[:n] if s is not None]
+        head = n % cap
+        return [s for s in buf[head:] + buf[:head] if s is not None]
 
     def events(self) -> List[TraceEvent]:
-        """Retained events, oldest first (insertion order)."""
-        n, cap = self._n, self._capacity
-        if n <= cap:
-            return [e for e in self._buf[:n]]
-        head = n % cap
-        return self._buf[head:] + self._buf[:head]
+        """Retained events, oldest first (emission order across rings)."""
+        main = self._ring_slots(self._buf, self._n, self._capacity)
+        if self._bulk_capacity is None or not self._bulk_n:
+            return [event for _seq, event in main]
+        bulk = self._ring_slots(self._bulk_buf, self._bulk_n,
+                                self._bulk_capacity)
+        merged = sorted(main + bulk, key=lambda slot: slot[0])
+        return [event for _seq, event in merged]
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events())
 
     def clear(self) -> None:
-        """Forget everything (capacity is kept)."""
+        """Forget everything (capacities are kept)."""
         self._buf = [None] * self._capacity
         self._n = 0
+        if self._bulk_capacity is not None:
+            self._bulk_buf = [None] * self._bulk_capacity
+        self._bulk_n = 0
+        self._seq = 0
+        self._dropped_by_type = {}
+        self._dropped_bulk = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Tracer {len(self)}/{self._capacity} events"
@@ -147,8 +233,11 @@ class NullTracer:
 
     enabled = False
     capacity = 0
+    bulk_capacity: Optional[int] = None
     total_emitted = 0
     dropped = 0
+    dropped_bulk = 0
+    dropped_by_type: Dict[str, int] = {}
 
     def emit(self, t: float, rank: int, etype: str, dur: float = 0.0,
              **fields: Any) -> None:
@@ -184,16 +273,19 @@ _active: TracerLike = NULL_TRACER
 
 
 def install(tracer: Optional[Tracer] = None,
-            capacity: int = DEFAULT_CAPACITY) -> Tracer:
+            capacity: int = DEFAULT_CAPACITY,
+            bulk_capacity: Optional[int] = None) -> Tracer:
     """Make ``tracer`` (or a fresh one) the process-wide active tracer.
 
     Simulations pick the active tracer up at launch (``run_gaspi`` copies
     it onto the simulator), so install *before* starting a run.  Returns
-    the installed tracer.
+    the installed tracer.  ``bulk_capacity`` sizes the optional separate
+    ring for high-volume event types (pings, solver iterations) so they
+    cannot evict lifecycle milestones at 256+ rank scale.
     """
     global _active
     if tracer is None:
-        tracer = Tracer(capacity=capacity)
+        tracer = Tracer(capacity=capacity, bulk_capacity=bulk_capacity)
     _active = tracer
     return tracer
 

@@ -39,7 +39,7 @@ from typing import Callable, Dict, List, Optional
 BENCH_FILE = "BENCH_core.json"
 SCHEMA_VERSION = 1
 
-#: acceptance thresholds tracked by the CI smoke job (see ISSUES 1-2, 4)
+#: acceptance thresholds tracked by the CI smoke job (see ISSUES 1-2, 4, 6)
 TARGET_SPEEDUP = {
     "des_event_throughput_eps": 2.0,
     "spmv_graphene_mflops": 1.5,
@@ -48,11 +48,24 @@ TARGET_SPEEDUP = {
     "channel_pingpong_eps": 1.3,
     "sim_events_per_spmv": 3.0,
     "figure4_small_wall_s": 1.5,
+    "fd_scan_us_per_rank": 5.0,
+    "group_rebuild_us_per_rank": 5.0,
+}
+
+#: absolute floors checked by ``--check`` against the effective current
+#: values (weak-scaling acceptance: the paper's 256-node scale must fit
+#: inside the wall cap)
+TARGET_FLOOR = {
+    "ranks_max_at_60s": 256,
 }
 
 #: metrics where smaller numbers are better (besides ``*_wall_s``);
 #: ``_speedup`` inverts their improvement ratio so > 1.0 means better
-LOWER_IS_BETTER = {"sim_events_per_spmv"}
+LOWER_IS_BETTER = {
+    "sim_events_per_spmv",
+    "fd_scan_us_per_rank",
+    "group_rebuild_us_per_rank",
+}
 
 #: ``--check`` fails when a metric regresses more than this fraction
 #: against the committed ``current`` values (CI smoke guard)
@@ -445,6 +458,34 @@ def load_report(path: str) -> Dict:
     return {"schema": SCHEMA_VERSION}
 
 
+def _strip_env(section: Optional[Dict]) -> Dict[str, float]:
+    out = dict(section or {})
+    out.pop("environment", None)
+    return out
+
+
+def _delta_table(report: Dict, effective: Dict[str, float]) -> str:
+    """S2: the compact per-metric status table printed on ``--check``.
+
+    One row per effective metric: current value, improvement vs seed,
+    and the tracked target (speedup or floor) when one exists.
+    """
+    speedup = report.get("speedup", {})
+    lines = [f"{'metric':<28} {'current':>14} {'vs seed':>9} {'target':>9}"]
+    for key in sorted(effective):
+        ratio = speedup.get(key)
+        ratio_s = f"x{ratio:.2f}" if ratio is not None else "-"
+        if key in TARGET_SPEEDUP:
+            target_s = f"x{TARGET_SPEEDUP[key]:.1f}"
+        elif key in TARGET_FLOOR:
+            target_s = f">={TARGET_FLOOR[key]}"
+        else:
+            target_s = "-"
+        lines.append(f"{key:<28} {effective[key]:>14,.3f} "
+                     f"{ratio_s:>9} {target_s:>9}")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro bench",
@@ -459,22 +500,65 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help=f"output JSON path (default: {BENCH_FILE})")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero if a tracked speedup target is "
-                             "missed or any metric regresses >"
-                             f"{REGRESSION_TOLERANCE:.0%} vs the committed "
-                             "'current' values")
+                             "missed, a floor is not met, or any metric "
+                             f"regresses >{REGRESSION_TOLERANCE:.0%} vs the "
+                             "committed 'current' values")
+    parser.add_argument("--scaling", action="store_true",
+                        help="run the weak-scaling suite instead of the "
+                             "micro suite: the rank ladder in both rankstate "
+                             "modes, recording the vectorized path as "
+                             "'current' and the scalar reference as the "
+                             "measured 'seed' equivalent")
+    parser.add_argument("--ranks", type=int, nargs="+", default=None,
+                        metavar="N",
+                        help="override the weak-scaling rank ladder "
+                             "(default: 16 64 256 1024)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI weak-scaling smoke: one traced 256-rank "
+                             "scenario under a wall cap with clean trace "
+                             "validation; writes nothing")
     args = parser.parse_args(argv)
 
-    metrics = run_benches(quick=args.quick)
+    if args.smoke:
+        from repro.perf.scaling import run_smoke
+
+        return run_smoke()
+
     report = load_report(args.out)
-    committed = dict(report.get("current") or {})
-    committed.pop("environment", None)
-    if args.record_seed:
-        report["seed"] = {**metrics, "environment": _environment()}
+    committed = _strip_env(report.get("current"))
+
+    if args.scaling:
+        from repro.perf.scaling import RANKS_LADDER, run_scaling, \
+            summary_metrics
+
+        ladder = args.ranks or RANKS_LADDER
+        print(f"# weak scaling, ranks {list(ladder)} (vectorized ...)")
+        current_scaling = run_scaling("vectorized", ladder)
+        print("# ... and the scalar seed-equivalent")
+        seed_scaling = run_scaling("scalar", ladder)
+        metrics = summary_metrics(current_scaling)
+        seed_metrics = summary_metrics(seed_scaling)
+        report["scaling"] = {"current": current_scaling,
+                             "seed": seed_scaling}
+        report["seed"] = {**_strip_env(report.get("seed")), **seed_metrics,
+                          "environment": _environment()}
+        report["current"] = {**committed, **metrics,
+                             "environment": _environment()}
     else:
-        report["current"] = {**metrics, "environment": _environment()}
-        seed = report.get("seed")
-        if seed:
-            report["speedup"] = _speedup(seed, metrics)
+        metrics = run_benches(quick=args.quick)
+        if args.record_seed:
+            report["seed"] = {**_strip_env(report.get("seed")), **metrics,
+                              "environment": _environment()}
+        else:
+            # merge, don't replace: the scaling metrics live in the same
+            # section and must survive a micro-suite refresh
+            report["current"] = {**committed, **metrics,
+                                 "environment": _environment()}
+
+    seed = _strip_env(report.get("seed"))
+    current = _strip_env(report.get("current"))
+    if seed and current and not args.record_seed:
+        report["speedup"] = _speedup(seed, current)
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -490,6 +574,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(line)
 
     if args.check:
+        effective = {**committed, **metrics}
         failed = False
         if "speedup" in report:
             missed = {k: v for k, v in TARGET_SPEEDUP.items()
@@ -498,6 +583,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             if missed:
                 print(f"FAIL: speedup targets missed: {missed}")
                 failed = True
+        below = {k: effective[k] for k, floor in TARGET_FLOOR.items()
+                 if k in effective and effective[k] < floor}
+        if below:
+            print(f"FAIL: floors not met (targets {TARGET_FLOOR}): {below}")
+            failed = True
         regressed = _regressions(committed, metrics)
         if regressed:
             print("FAIL: regression vs committed current "
@@ -505,6 +595,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             failed = True
         if failed:
             return 1
+        print(f"\nOK — targets met, no regression > "
+              f"{REGRESSION_TOLERANCE:.0%}")
+        print(_delta_table(report, effective))
     return 0
 
 

@@ -1,0 +1,311 @@
+"""Weak-scaling benches: per-rank FT costs across the rank ladder.
+
+The paper runs at 256 nodes (and ROADMAP item 1 asks for 1024–4096-rank
+sweeps); what must stay flat under weak scaling is the *per-rank* cost of
+the FT machinery — the FD's scan round and the recovery's group rebuild.
+This module measures exactly those two kernels plus an end-to-end
+fixed-per-rank-workload scenario ladder, in both `repro.ft.rankstate`
+modes:
+
+* ``vectorized`` — the struct-of-arrays fast path (recorded as
+  ``current`` in ``BENCH_core.json``);
+* ``scalar`` — the retained pre-vectorization reference (recorded as the
+  ``seed`` equivalent, so the speedup is measured, not remembered).
+
+Metrics (all lower-is-better except the ladder maximum):
+
+* ``fd_scan_us_per_rank`` — wall microseconds per probed rank per FD
+  scan round, measured over full ``scan_once`` rounds inside a live
+  simulation at the reference scale (256 ranks).  The scalar reference
+  re-derives its target list every round and sweeps sequentially (one
+  simulator callback chain per probe); the vectorized path reuses the
+  cached target list and posts one single-callback batched sweep.
+* ``group_rebuild_us_per_rank`` — wall microseconds per member of one
+  recovery-side group rebuild: ``map_members`` + ``group_create`` +
+  ``group_fill`` + ``logical_in_map``.  The collective commit is
+  excluded — its virtual cost is identical in both modes and would only
+  add noise.  The scalar reference replicates the historical
+  O(n^2) per-add membership scans.
+* ``ranks_max_at_60s`` — the largest ladder rung whose fixed
+  per-rank-workload scenario (one mid-run failure, full detect →
+  promote → rebuild → restore cycle) completes within the wall cap.
+
+Run ``python -m repro bench --scaling`` to record the ladder, or
+``python -m repro bench --smoke`` for the CI smoke variant (one traced
+256-rank scenario, validated and wall-capped).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+#: the weak-scaling rank ladder (workers; each rung adds n_spares + FD)
+RANKS_LADDER = (16, 64, 256, 1024)
+
+#: reference scale for the per-rank kernel metrics (the paper's node count)
+REFERENCE_RANKS = 256
+
+#: wall-clock budget per scenario rung; the ladder stops at the first
+#: rung that exceeds (or is predicted to exceed) it
+WALL_CAP_S = 60.0
+
+#: spares per rung — the scenario injects one failure, so the pool never
+#: runs dry and the rung cost is dominated by the scale, not the budget
+N_SPARES = 4
+
+#: per-rank workload held fixed across the ladder (weak scaling)
+ITERATIONS = 25
+
+#: (time, worker rank) of the single injected failure per scenario rung
+KILL = (10.5, 3)
+
+
+# ----------------------------------------------------------------------
+# kernel bench 1: FD scan round
+# ----------------------------------------------------------------------
+def bench_fd_scan_us_per_rank(n_ranks: int = REFERENCE_RANKS,
+                              mode: str = "vectorized",
+                              rounds: Optional[int] = None) -> float:
+    """Wall microseconds per probed rank per full FD scan round.
+
+    One rank (the FD slot, ``n_ranks - 1``) sweeps all others ``rounds``
+    times inside a live simulation, exercising the mode's real scan
+    pipeline: target derivation via the rankstate kernels, then
+    ``scan_once`` with the mode's sweep flavour (batched single-callback
+    vs. sequential per-probe events).
+    """
+    import numpy as np
+
+    from repro.ft import rankstate
+    from repro.ft.detector import scan_once
+    from repro.gaspi import run_gaspi
+
+    if rounds is None:
+        rounds = max(4, 4096 // n_ranks)
+    n_rounds = rounds
+    wall = [0.0]
+
+    with rankstate.use(mode):
+        ks = rankstate.kernels()
+
+        def main(ctx):
+            if ctx.rank != n_ranks - 1:
+                return
+            statuses = np.zeros(n_ranks, dtype=np.int64)
+            avoid = ks.avoid_mask(statuses)
+            targets: Optional[List[int]] = None
+            t0 = time.perf_counter()
+            for _ in range(n_rounds):
+                if targets is None or ks.derive_targets_each_scan:
+                    targets = ks.scan_targets(avoid, ctx.rank)
+                failed = yield from scan_once(ctx, targets, 1,
+                                              batched=ks.batched_sweep)
+                assert not failed
+            wall[0] = time.perf_counter() - t0
+
+        run_gaspi(main, n_ranks=n_ranks)
+    return wall[0] / (n_rounds * (n_ranks - 1)) * 1e6
+
+
+# ----------------------------------------------------------------------
+# kernel bench 2: group rebuild
+# ----------------------------------------------------------------------
+def bench_group_rebuild_us_per_rank(n_ranks: int = REFERENCE_RANKS,
+                                    mode: str = "vectorized",
+                                    rounds: Optional[int] = None) -> float:
+    """Wall microseconds per member of one recovery group rebuild.
+
+    Measures the Python-side rebuild work each member performs in
+    :func:`repro.ft.recovery.perform_recovery`: sorted member extraction
+    from the rank map, group creation and population, and the rank's own
+    logical-identity lookup.  The collective commit is excluded — it
+    costs the same in both modes.
+    """
+    from repro.ft import rankstate
+    from repro.gaspi.groups import Group
+
+    if rounds is None:
+        rounds = max(4, 4096 // n_ranks)
+    ks = (rankstate.VectorizedKernels if mode == "vectorized"
+          else rankstate.ScalarKernels)
+    rank_map = {logical: logical for logical in range(n_ranks)}
+
+    t0 = time.perf_counter()
+    for k in range(rounds):
+        members = ks.map_members(rank_map)
+        group = Group(tag=k)
+        ks.group_fill(group, members)
+        assert ks.logical_in_map(rank_map, n_ranks - 1) == n_ranks - 1
+        assert len(group.members) == n_ranks
+    wall = time.perf_counter() - t0
+    return wall / (rounds * n_ranks) * 1e6
+
+
+# ----------------------------------------------------------------------
+# end-to-end ladder: fixed per-rank workload, one failure per rung
+# ----------------------------------------------------------------------
+def scenario_wall_s(workers: int, mode: str = "vectorized") -> float:
+    """Wall seconds of one fixed-per-rank-workload failure scenario."""
+    from repro.experiments.common import run_ft_scenario
+    from repro.ft import rankstate
+    from repro.workloads.spec import scaled_spec
+
+    spec = scaled_spec(workers=workers, iterations=ITERATIONS,
+                       name=f"weak-{workers}")
+    with rankstate.use(mode):
+        t0 = time.perf_counter()
+        outcome = run_ft_scenario(f"weak-{workers}", spec,
+                                  kill_times=[KILL], n_spares=N_SPARES)
+        wall = time.perf_counter() - t0
+    assert outcome.n_recoveries == 1
+    return wall
+
+
+def run_scaling(mode: str = "vectorized",
+                ranks: Sequence[int] = RANKS_LADDER,
+                wall_cap_s: float = WALL_CAP_S,
+                scenarios: bool = True) -> Dict[str, object]:
+    """The full weak-scaling suite for one rankstate mode.
+
+    Returns per-rung kernel measurements, the scenario ladder walls, and
+    ``ranks_max_at_60s``.  A rung predicted (from the previous rung,
+    assuming slightly superlinear growth) or measured to exceed the wall
+    cap stops the ladder; skipped rungs are listed explicitly, never
+    silently absent.
+    """
+    ladder = sorted(set(int(n) for n in ranks))
+    fd_scan: Dict[str, float] = {}
+    rebuild: Dict[str, float] = {}
+    walls: Dict[str, float] = {}
+    skipped: List[str] = []
+    ranks_max = 0
+
+    for n in ladder:
+        fd_scan[str(n)] = round(bench_fd_scan_us_per_rank(n, mode), 3)
+        rebuild[str(n)] = round(
+            bench_group_rebuild_us_per_rank(n, mode), 3)
+
+    if scenarios:
+        prev_n: Optional[int] = None
+        prev_wall = 0.0
+        for n in ladder:
+            if prev_n is not None and prev_wall > 0.0:
+                predicted = prev_wall * (n / prev_n) ** 1.3
+                if predicted > wall_cap_s:
+                    skipped.append(
+                        f"weak-{n}: predicted {predicted:.1f}s > "
+                        f"{wall_cap_s:.0f}s cap (from weak-{prev_n} at "
+                        f"{prev_wall:.1f}s)")
+                    break
+            wall = scenario_wall_s(n, mode)
+            walls[str(n)] = round(wall, 3)
+            prev_n, prev_wall = n, wall
+            if wall > wall_cap_s:
+                skipped.append(f"ladder stopped: weak-{n} took "
+                               f"{wall:.1f}s > {wall_cap_s:.0f}s cap")
+                break
+            ranks_max = n
+
+    return {
+        "mode": mode,
+        "ranks": ladder,
+        "wall_cap_s": wall_cap_s,
+        "fd_scan_us_per_rank": fd_scan,
+        "group_rebuild_us_per_rank": rebuild,
+        "scenario_wall_s": walls,
+        "ranks_max_at_60s": ranks_max,
+        "skipped": skipped,
+    }
+
+
+def summary_metrics(scaling: Dict[str, object]) -> Dict[str, float]:
+    """The flat ``BENCH_core.json`` metrics from one mode's ladder run.
+
+    The per-rank kernel metrics are reported at the reference scale
+    (256 ranks, the paper's node count) or, failing that, the largest
+    measured rung.
+    """
+    def at_reference(table: Dict[str, float]) -> float:
+        key = str(REFERENCE_RANKS)
+        if key in table:
+            return table[key]
+        return table[max(table, key=int)]
+
+    fd_scan = scaling["fd_scan_us_per_rank"]
+    rebuild = scaling["group_rebuild_us_per_rank"]
+    assert isinstance(fd_scan, dict) and isinstance(rebuild, dict)
+    out = {
+        "fd_scan_us_per_rank": at_reference(fd_scan),
+        "group_rebuild_us_per_rank": at_reference(rebuild),
+    }
+    if scaling.get("scenario_wall_s"):
+        out["ranks_max_at_60s"] = float(scaling["ranks_max_at_60s"])
+    return out
+
+
+# ----------------------------------------------------------------------
+# CI smoke: one traced, validated, wall-capped 256-rank scenario
+# ----------------------------------------------------------------------
+def _smoke_outcome(workers: int):
+    """Sweep worker: the reference-scale scenario, stripped for pickling."""
+    from repro.experiments.common import run_ft_scenario
+    from repro.workloads.spec import scaled_spec
+
+    spec = scaled_spec(workers=workers, iterations=ITERATIONS,
+                       name=f"smoke-{workers}")
+    outcome = run_ft_scenario(f"weak-{workers}", spec, kill_times=[KILL],
+                              n_spares=N_SPARES)
+    outcome.result = None
+    return outcome
+
+
+def run_smoke(workers: int = REFERENCE_RANKS,
+              wall_cap_s: float = WALL_CAP_S,
+              bulk_capacity: int = 4096) -> int:
+    """The CI weak-scaling smoke: traced 256-rank scenario under a cap.
+
+    Asserts that (a) the scenario finishes within ``wall_cap_s``, (b) the
+    single injected failure resolves into a complete, validation-clean
+    lifecycle chain even at that scale — the tracer's bulk ring keeps the
+    ping/solver-iteration flood from evicting the lifecycle events — and
+    (c) exactly one recovery happened.  Returns a process exit status.
+    """
+    from repro.experiments.sweep import SweepTask, run_traced_sweep
+    from repro.experiments.trace import validate_trace
+
+    t0 = time.perf_counter()
+    results, traces = run_traced_sweep(
+        [SweepTask("scaling-smoke", f"weak-{workers}", _smoke_outcome,
+                   (workers,))],
+        jobs=1, bulk_capacity=bulk_capacity)
+    wall = time.perf_counter() - t0
+
+    outcome, trace = results[0], traces[0]
+    errors = validate_trace(trace)
+    print(f"weak-scaling smoke: {workers} ranks in {wall:.1f}s "
+          f"(cap {wall_cap_s:.0f}s), {outcome.n_recoveries} recovery, "
+          f"{len(trace.events)} trace events "
+          f"({trace.dropped_bulk} bulk-ring evictions tolerated)")
+    failed = False
+    if wall > wall_cap_s:
+        print(f"FAIL: wall {wall:.1f}s exceeds the {wall_cap_s:.0f}s cap")
+        failed = True
+    if outcome.n_recoveries != 1:
+        print(f"FAIL: expected exactly 1 recovery, "
+              f"saw {outcome.n_recoveries}")
+        failed = True
+    lifecycle_dropped = trace.dropped - trace.dropped_bulk
+    if lifecycle_dropped:
+        print(f"FAIL: {lifecycle_dropped} lifecycle trace events dropped")
+        failed = True
+    if errors:
+        print("FAIL: trace validation errors:")
+        for err in errors:
+            print(f"  - {err}")
+        failed = True
+    if failed:
+        return 1
+    print("OK — scenario completed under the cap with a clean, complete "
+          "failure-lifecycle trace")
+    return 0

@@ -1,0 +1,64 @@
+"""Weak-scaling harness units: kernel benches run in both modes, the
+ladder structure is complete and explicit about skips, the summary picks
+the reference scale, and the CI smoke validates end to end (scaled down
+here so the tier-1 suite stays fast)."""
+
+import pytest
+
+from repro.perf import scaling
+from repro.perf.bench import (LOWER_IS_BETTER, TARGET_FLOOR, TARGET_SPEEDUP,
+                              _speedup)
+
+
+@pytest.mark.parametrize("mode", ["vectorized", "scalar"])
+def test_kernel_benches_run_in_both_modes(mode):
+    fd = scaling.bench_fd_scan_us_per_rank(16, mode, rounds=2)
+    rb = scaling.bench_group_rebuild_us_per_rank(16, mode, rounds=2)
+    assert fd > 0.0 and rb > 0.0
+
+
+def test_run_scaling_structure_without_scenarios():
+    out = scaling.run_scaling("vectorized", ranks=[8, 16], scenarios=False)
+    assert out["mode"] == "vectorized"
+    assert out["ranks"] == [8, 16]
+    assert set(out["fd_scan_us_per_rank"]) == {"8", "16"}
+    assert set(out["group_rebuild_us_per_rank"]) == {"8", "16"}
+    assert out["scenario_wall_s"] == {}
+    assert out["ranks_max_at_60s"] == 0
+    assert out["skipped"] == []
+
+
+def test_summary_metrics_pick_reference_or_largest():
+    table = {"16": 4.0, "256": 2.0, "1024": 1.0}
+    out = scaling.summary_metrics({
+        "fd_scan_us_per_rank": table,
+        "group_rebuild_us_per_rank": {"16": 8.0, "64": 6.0},
+        "scenario_wall_s": {"16": 0.1},
+        "ranks_max_at_60s": 64,
+    })
+    assert out["fd_scan_us_per_rank"] == 2.0      # the 256-rank reference
+    assert out["group_rebuild_us_per_rank"] == 6.0  # largest measured rung
+    assert out["ranks_max_at_60s"] == 64.0
+
+
+def test_scaling_metrics_are_tracked_lower_is_better():
+    for key in ("fd_scan_us_per_rank", "group_rebuild_us_per_rank"):
+        assert key in LOWER_IS_BETTER
+        assert TARGET_SPEEDUP[key] == 5.0
+    assert TARGET_FLOOR["ranks_max_at_60s"] == 256
+    # the inversion: a drop from 4 us to 1 us must read as a 4x speedup
+    ratios = _speedup({"fd_scan_us_per_rank": 4.0},
+                      {"fd_scan_us_per_rank": 1.0})
+    assert ratios["fd_scan_us_per_rank"] == 4.0
+
+
+def test_scenario_ladder_runs_a_recovery_at_small_scale():
+    wall = scaling.scenario_wall_s(16, "vectorized")
+    assert wall > 0.0
+
+
+def test_smoke_passes_at_reduced_scale(capsys):
+    assert scaling.run_smoke(workers=16, wall_cap_s=60.0,
+                             bulk_capacity=512) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "1 recovery" in out
