@@ -23,7 +23,11 @@ from repro.checkpoint.serialization import (
 from repro.checkpoint.store import CheckpointNotFound, NodeLocalStore, StoredBlob
 from repro.checkpoint.pfs import ParallelFileSystem
 from repro.checkpoint.neighbor import neighbor_of, neighbor_map
-from repro.checkpoint.manager import CheckpointConfig, CheckpointLib
+from repro.checkpoint.manager import (
+    CheckpointConfig,
+    CheckpointLib,
+    CheckpointManager,
+)
 
 __all__ = [
     "pack_checkpoint",
@@ -39,4 +43,5 @@ __all__ = [
     "neighbor_map",
     "CheckpointConfig",
     "CheckpointLib",
+    "CheckpointManager",
 ]

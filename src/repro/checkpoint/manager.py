@@ -41,15 +41,29 @@ span) and ``restore`` (read path, any source).
 
 from __future__ import annotations
 
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
-from repro.sim import Channel, Event, Sleep
+from repro.sim import Channel, Event, Sleep, WaitEvent
 from repro.gaspi.constants import ReturnCode
 from repro.gaspi.context import GaspiContext
-from repro.checkpoint.neighbor import neighbor_of
+from repro.checkpoint.neighbor import neighbor_map, neighbor_of
 from repro.checkpoint.pfs import ParallelFileSystem
 from repro.checkpoint.serialization import (
     pack_checkpoint_into,
@@ -93,11 +107,23 @@ class CheckpointLib:
     ) -> None:
         self.ctx = ctx
         self.machine = ctx.world.machine
+        #: a rank's node never changes (a failed rank is replaced by a new
+        #: library on a new context), so placement is resolved once
+        self._my_node: int = self.machine.node_of(ctx.rank)
+        self._local_store_obj = NodeLocalStore(self.machine.node(self._my_node))
+        #: endpoints are registered once per rank and never replaced, so
+        #: the liveness object can be resolved at construction
+        self._endpoint_obj = ctx.world.transport.endpoint(ctx.rank)
+        #: the simulator's tracer is fixed at launch (``obs.install`` runs
+        #: before the world starts), so the property chain resolves once
+        self._tracer = ctx.tracer
         self.logical_rank = logical_rank
         self.config = config or CheckpointConfig()
         self.pfs = pfs
         self.participants: List[int] = sorted(participants)
         self.neighbor_rank: Optional[int] = None
+        self._neighbor_node: Optional[int] = None
+        self._neighbor_store_obj: Optional[NodeLocalStore] = None
         self.refresh(self.participants)
         # GASPI data plane for neighbor mirroring: own staging window plus
         # a dedicated queue, so mirror flushes never contend with the
@@ -106,6 +132,8 @@ class CheckpointLib:
             ctx.segment_create(self.config.mirror_segment,
                                self.config.mirror_window)
         self._mirror_queue = ctx.queue_create()
+        self._mirror_queue_obj = ctx._queue(self._mirror_queue)
+        self._mirror_seg_size = ctx.segment(self.config.mirror_segment).size
         self._jobs = Channel(name=f"ckpt-jobs-{ctx.rank}")
         self._helper = ctx.world.launch(
             ctx.rank, self._helper_loop(), name=f"ckpt-helper-{ctx.rank}"
@@ -114,6 +142,11 @@ class CheckpointLib:
         #: grown geometrically, never shrunk — after warm-up a checkpoint
         #: allocates nothing but the immutable stored snapshot
         self._staging = bytearray()
+        #: round-mirror bookkeeping: the request currently in flight on the
+        #: manager data plane, and those queued behind it (the FIFO the
+        #: helper thread's job channel provides on the scalar path)
+        self._round_inflight: Optional["_MirrorRequest"] = None
+        self._round_deferred: Deque["_MirrorRequest"] = deque()
         self.stats = {"local_writes": 0, "neighbor_copies": 0, "pfs_copies": 0,
                       "local_reads": 0, "remote_reads": 0, "pfs_reads": 0}
 
@@ -122,33 +155,73 @@ class CheckpointLib:
     # ------------------------------------------------------------------
     @property
     def my_node(self) -> int:
-        return self.machine.node_of(self.ctx.rank)
+        return self._my_node
 
     def _store_of_node(self, node_id: int) -> NodeLocalStore:
         return NodeLocalStore(self.machine.node(node_id))
 
     def _local_store(self) -> NodeLocalStore:
-        return self._store_of_node(self.my_node)
+        return self._local_store_obj
 
     def refresh(self, participants: Iterable[int]) -> None:
-        """Fault-aware neighbor update after group reconstruction."""
+        """Fault-aware neighbor update after group reconstruction.
+
+        On the round-checkpoint path the whole ring's map comes from the
+        world manager's cached O(n) ``neighbor_map`` build (every library
+        of the same participant set shares one map) instead of the per-rank
+        O(n) :func:`neighbor_of` rescan; both yield the identical partner.
+        """
         self.participants = sorted(participants)
         if self.ctx.rank in self.participants and len(self.participants) > 1:
-            self.neighbor_rank = neighbor_of(
-                self.ctx.rank, self.participants, self.machine.node_of
-            )
+            if self._round_kernels():
+                manager = CheckpointManager.of(self.ctx.world)
+                self.neighbor_rank = manager.neighbor_map_for(
+                    tuple(self.participants)
+                )[self.ctx.rank]
+            else:
+                self.neighbor_rank = neighbor_of(
+                    self.ctx.rank, self.participants, self.machine.node_of
+                )
         else:
             self.neighbor_rank = None
+        self._neighbor_node = (
+            None if self.neighbor_rank is None
+            else self.machine.node_of(self.neighbor_rank)
+        )
+        self._neighbor_store_obj = (
+            None if self._neighbor_node is None
+            else NodeLocalStore(self.machine.node(self._neighbor_node))
+        )
 
     @property
     def neighbor_node(self) -> Optional[int]:
-        if self.neighbor_rank is None:
-            return None
-        return self.machine.node_of(self.neighbor_rank)
+        return self._neighbor_node
 
     # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
+    def _round_kernels(self) -> bool:
+        """Whether the active rankstate kernel set selects the round path."""
+        from repro.ft import rankstate
+
+        return bool(rankstate.kernels().round_checkpoint)
+
+    def _use_round_plane(self) -> bool:
+        """Whether this write's mirror rides the manager's round data plane.
+
+        Gated off under transfer jitter (the scalar path's per-op RNG draw
+        order cannot be reproduced from one round pricing call) and when
+        this library owes PFS copies (which stay on the helper thread) —
+        both fall back to the per-library helper, bit-identically.
+        """
+        if not self._round_kernels():
+            return False
+        if self.machine.network.jittered:
+            return False
+        if self.pfs is not None and self.config.pfs_every > 0:
+            return False
+        return True
+
     def _pack_to_staging(self, payload: Dict[str, np.ndarray]) -> bytes:
         """Pack through the reused staging buffer; return the stored copy.
 
@@ -170,22 +243,36 @@ class CheckpointLib:
         Returns an :class:`Event` that fires once the background neighbor
         (and PFS, if due) copy finished — the application does *not* have
         to wait on it.
+
+        The asynchronous mirror travels one of two bit-identical routes:
+        the per-library helper thread (the scalar reference, and the only
+        route under jitter or PFS duty), or the world-level
+        :class:`CheckpointManager` round data plane, which coalesces every
+        mirror signalled in the same tick into one vectorized-priced
+        scatter round.
         """
         t0 = self.ctx.now
-        data = self._pack_to_staging(payload)
+        use_round = self._use_round_plane()
+        manager = CheckpointManager.of(self.ctx.world) if use_round else None
+        if manager is not None:
+            data = manager.pack_blob(payload)
+        else:
+            data = self._pack_to_staging(payload)
         blob = StoredBlob(data=data, nominal_bytes=nominal_bytes or len(data))
         yield Sleep(blob.nominal_bytes / self.config.local_bandwidth)
         key = (self.config.tag, self.logical_rank, version)
-        self._local_store().put(key, blob)
+        self._local_store().put_pruned(key, blob, self.config.keep_versions)
         self.stats["local_writes"] += 1
-        tracer = self.ctx.tracer
+        tracer = self._tracer
         if tracer.enabled:
             tracer.emit(self.ctx.now, self.ctx.rank, "ckpt_write",
                         dur=self.ctx.now - t0, version=version,
                         bytes=blob.nominal_bytes)
-        self._prune(self._local_store())
         mirrored = Event(name=f"ckpt-mirrored-{self.ctx.rank}-v{version}")
-        self._jobs.put((key, blob, mirrored))
+        if manager is not None:
+            manager.submit(self, key, blob, mirrored)
+        else:
+            self._jobs.put((key, blob, mirrored))
         return mirrored
 
     def _mirror_transfer(self, neighbor_rank: int, node_id: int,
@@ -254,11 +341,10 @@ class CheckpointLib:
                 store = self._store_of_node(node_id)
                 if (delivered and store.available
                         and self.machine.network.reachable(self.my_node, node_id)):
-                    store.put(key, blob)
-                    self._prune(store)
+                    store.put_pruned(key, blob, self.config.keep_versions)
                     self.stats["neighbor_copies"] += 1
                     copied = True
-                    tracer = self.ctx.tracer
+                    tracer = self._tracer
                     if tracer.enabled:
                         tracer.emit(self.ctx.now, self.ctx.rank,
                                     "ckpt_mirror", dur=self.ctx.now - t0,
@@ -273,9 +359,8 @@ class CheckpointLib:
             mirrored.succeed(copied)
 
     def _prune(self, store: NodeLocalStore) -> None:
-        versions = store.versions(self.config.tag, self.logical_rank)
-        for stale in versions[: -self.config.keep_versions]:
-            store.delete((self.config.tag, self.logical_rank, stale))
+        store.prune(self.config.tag, self.logical_rank,
+                    self.config.keep_versions)
 
     def shutdown(self) -> None:
         """Stop the helper thread (flushes queued jobs first)."""
@@ -321,8 +406,7 @@ class CheckpointLib:
         restore (otherwise the *next* failure would find no local data)."""
         yield Sleep(blob.nominal_bytes / self.config.local_bandwidth)
         store = self._local_store()
-        store.put(key, blob)
-        self._prune(store)
+        store.put_pruned(key, blob, self.config.keep_versions)
         self.stats["local_writes"] += 1
         self._jobs.put((key, blob, Event(name=f"reprotect-{self.ctx.rank}")))
 
@@ -348,7 +432,7 @@ class CheckpointLib:
                 )
         key = (self.config.tag, self.logical_rank, version)
         t0 = self.ctx.now
-        tracer = self.ctx.tracer
+        tracer = self._tracer
         for node_id in self._candidate_nodes(extra_nodes):
             store = self._store_of_node(node_id)
             if not store.has(key):
@@ -373,6 +457,10 @@ class CheckpointLib:
                             dur=self.ctx.now - t0, version=version,
                             source=("local" if node_id == self.my_node
                                     else "neighbor"))
+            self._record_restore(
+                "local" if node_id == self.my_node else "neighbor",
+                blob.nominal_bytes, self.ctx.now - t0,
+            )
             return version, unpack_checkpoint(blob.data)
         if self.pfs is not None and self.pfs.has(key):
             blob = yield from self.pfs.read(key)
@@ -383,5 +471,474 @@ class CheckpointLib:
                 tracer.emit(self.ctx.now, self.ctx.rank, "restore",
                             dur=self.ctx.now - t0, version=version,
                             source="pfs")
+            self._record_restore("pfs", blob.nominal_bytes, self.ctx.now - t0)
             return version, unpack_checkpoint(blob.data)
         raise CheckpointNotFound(f"version {version} unavailable for {key}")
+
+    def _record_restore(self, source: str, nbytes: int, elapsed: float) -> None:
+        """Feed the world manager's per-phase restore totals (if attached)."""
+        manager = CheckpointManager.maybe_of(self.ctx.world)
+        if manager is not None:
+            manager.record_restore(source, nbytes, elapsed)
+
+
+@dataclass(slots=True)
+class _MirrorRequest:
+    """One rank's pending neighbor mirror on the round data plane."""
+
+    manager: "CheckpointManager"
+    lib: CheckpointLib
+    key: "Key"
+    blob: StoredBlob
+    mirrored: Event
+    t_start: float = 0.0
+    neighbor_rank: Optional[int] = None
+    node_id: Optional[int] = None
+    expected: float = 0.0
+    stage: int = 0
+    segment: Optional[Any] = None
+    store: Optional[NodeLocalStore] = None
+
+    def apply(self) -> None:
+        """Delivery callback: land the bytes, then the helper epilogue.
+
+        The remote window was resolved during flush classification; the
+        blob snapshot is immutable, so slicing the staged prefix here is
+        byte-identical to binding it at post time.  A writer that died
+        mid-flight takes no completion actions, like its dead helper
+        thread wouldn't.
+        """
+        stage = self.stage
+        data = self.blob.data
+        self.segment.write_view(0, stage)[:] = (
+            data if stage == len(data) else memoryview(data)[:stage]
+        )
+        if self.lib._endpoint_obj.alive:
+            self.manager._finish_delivery(self)
+
+    def hang(self) -> None:
+        """Arm the scalar path's flush timeout lazily (only hung ops
+        ever need it): purge the queue and report the failed mirror."""
+        manager = self.manager
+        manager.sim.schedule_at(
+            self.t_start + (self.expected * 1.5 + 1.0),
+            lambda: manager._on_timeout(self),
+        )
+
+
+class CheckpointManager:
+    """World-level round-batched checkpoint mirror plane.
+
+    One instance per :class:`~repro.gaspi.runtime.GaspiWorld` (attached
+    lazily via :meth:`of`).  It replaces the per-library helper thread's
+    per-neighbor work with whole-round batch operations while reproducing
+    the helper's observable behaviour bit-for-bit:
+
+    * **shared staging arena** — every blob of a round packs through one
+      grown-geometrically buffer (one ``packed_size`` prefix-sum, one
+      ``pack_checkpoint_into`` view per rank) instead of per-library
+      staging copies;
+    * **same-tick coalescing** — mirrors signalled within one simulated
+      tick (each rank's ``write_checkpoint`` finishing its local write at
+      the same instant) flush as *one* scatter round priced by a single
+      vectorized :meth:`Network.transfer_time_round` call per direction
+      (:meth:`Transport.post_rdma_scatter`), with per-op path re-checks at
+      delivery, per-op hang/timeout/purge semantics, and per-library FIFO
+      ordering of back-to-back mirrors;
+    * **cached neighbor maps** — the O(n) ``ring_neighbors`` kernel builds
+      each participant set's full map once; every library refresh against
+      the same set is a dict lookup;
+    * **phase totals** — mirror and restore bytes/latency accumulated for
+      the ``recovery_compare`` experiment's per-phase reporting.
+
+    The only intentional divergence from the scalar helper: the writer's
+    *own* staging-window copy (a local scratch write the scalar path makes
+    before posting) is skipped — remote bytes, store contents, stats,
+    events and virtual timestamps are identical.
+    """
+
+    _ATTR = "_checkpoint_manager"
+
+    def __init__(self, world: Any) -> None:
+        self.world = world
+        self.sim = world.sim
+        self.machine = world.machine
+        self.transport = world.transport
+        #: bound reachability check (the network object never changes)
+        self._reachable: Callable[[int, int], bool] = (
+            world.machine.network.reachable
+        )
+        #: node-local store views, one per node (nodes never move)
+        self._stores: Dict[int, NodeLocalStore] = {}
+        #: shared pack arena, grown geometrically and never shrunk
+        self._arena = bytearray()
+        #: requests accumulated in the current tick, flushed as one round
+        self._pending: List[_MirrorRequest] = []
+        self._sealed = False
+        #: participant-tuple -> {rank: neighbor} map cache (tiny LRU; a
+        #: run only ever sees a handful of participant sets)
+        self._neighbor_maps: "OrderedDict[Tuple[int, ...], Dict[int, Optional[int]]]" = OrderedDict()
+        #: per-phase checkpoint-plane totals (bytes / virtual seconds)
+        self.phase_totals: Dict[str, float] = {
+            "mirror_ops": 0, "mirror_bytes": 0, "mirror_s": 0.0,
+            "restore_ops": 0, "restore_bytes": 0, "restore_s": 0.0,
+            "restore_local_ops": 0, "restore_neighbor_ops": 0,
+            "restore_pfs_ops": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, world: Any) -> "CheckpointManager":
+        """The world's manager, created on first use."""
+        manager = getattr(world, cls._ATTR, None)
+        if manager is None:
+            manager = cls(world)
+            setattr(world, cls._ATTR, manager)
+        return manager
+
+    @classmethod
+    def maybe_of(cls, world: Any) -> Optional["CheckpointManager"]:
+        """The world's manager if one was ever attached, else ``None``."""
+        manager: Optional[CheckpointManager] = getattr(world, cls._ATTR, None)
+        return manager
+
+    # ------------------------------------------------------------------
+    # shared staging arena
+    # ------------------------------------------------------------------
+    def _reserve(self, total: int) -> memoryview:
+        if len(self._arena) < total:
+            self._arena = bytearray(max(total, 2 * len(self._arena)))
+        return memoryview(self._arena)
+
+    def pack_blob(self, payload: Dict[str, np.ndarray]) -> bytes:
+        """Pack one payload through the shared arena (stored snapshot out).
+
+        Byte-identical to ``CheckpointLib._pack_to_staging`` — same wire
+        format, same streaming CRC — but every library of the world shares
+        one warm buffer instead of growing its own.
+        """
+        size = packed_size(payload)
+        arena = self._reserve(size)
+        pack_checkpoint_into(payload, arena)
+        return bytes(arena[:size])
+
+    def pack_round(
+        self, payloads: Sequence[Dict[str, np.ndarray]]
+    ) -> List[bytes]:
+        """Pack a whole round of payloads through the arena at once.
+
+        One ``packed_size`` pass and one prefix-sum lay every rank's blob
+        out back-to-back; each packs via a ``pack_checkpoint_into`` view at
+        its offset.  Returns the per-rank immutable snapshots (the node
+        stores keep those; the arena is reused next round).
+        """
+        n = len(payloads)
+        sizes = np.fromiter(
+            (packed_size(p) for p in payloads), dtype=np.int64, count=n
+        )
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        arena = self._reserve(int(offsets[-1]))
+        out: List[bytes] = []
+        for payload, off, size in zip(
+            payloads, offsets[:-1].tolist(), sizes.tolist()
+        ):
+            pack_checkpoint_into(payload, arena, offset=off, size=size)
+            out.append(bytes(arena[off:off + size]))
+        return out
+
+    # ------------------------------------------------------------------
+    # neighbor map cache
+    # ------------------------------------------------------------------
+    def neighbor_map_for(
+        self, participants: Tuple[int, ...]
+    ) -> Dict[int, Optional[int]]:
+        """The full mirror-partner map of a (sorted) participant set.
+
+        Built once per distinct set with the O(n) vectorized kernel; each
+        entry equals ``neighbor_of(rank, participants, node_of)``.
+        """
+        cached = self._neighbor_maps.get(participants)
+        if cached is None:
+            cached = neighbor_map(participants, self.machine.node_of)
+            self._neighbor_maps[participants] = cached
+            while len(self._neighbor_maps) > 8:
+                self._neighbor_maps.popitem(last=False)
+        else:
+            self._neighbor_maps.move_to_end(participants)
+        return cached
+
+    def _store(self, node_id: int) -> NodeLocalStore:
+        store = self._stores.get(node_id)
+        if store is None:
+            store = NodeLocalStore(self.machine.node(node_id))
+            self._stores[node_id] = store
+        return store
+
+    # ------------------------------------------------------------------
+    # round data plane
+    # ------------------------------------------------------------------
+    def submit(self, lib: CheckpointLib, key: "Key", blob: StoredBlob,
+               mirrored: Event) -> None:
+        """Register one rank's mirror request (the helper-signal analogue).
+
+        Requests submitted in the same tick coalesce into one flush round;
+        a request for a library whose previous mirror is still in flight
+        queues behind it (the job-channel FIFO of the scalar path).
+        """
+        request = _MirrorRequest(self, lib, key, blob, mirrored)
+        if lib._round_inflight is not None:
+            lib._round_deferred.append(request)
+            return
+        lib._round_inflight = request
+        # _enqueue, inlined on the every-rank-every-round path
+        self._pending.append(request)
+        if not self._sealed:
+            self._sealed = True
+            self.sim.schedule(0.0, self._flush)
+
+    def _enqueue(self, request: _MirrorRequest) -> None:
+        self._pending.append(request)
+        if not self._sealed:
+            self._sealed = True
+            self.sim.schedule(0.0, self._flush)
+
+    def _flush(self) -> None:
+        """Close the tick's round and drive every mirror to completion.
+
+        Reproduces the helper-loop timeline per request: neighborless
+        requests resolve immediately; requests whose transfer is only
+        modeled (missing remote mirror segment, empty staging window, or a
+        full mirror queue) complete after their expected transfer time;
+        the rest ship as one scatter round on each library's dedicated
+        mirror queue, land at delivery+ack with the path re-checked there,
+        and a severed path leaves the op hung until the scalar path's
+        flush timeout purges the queue.  A writer that died mid-flight
+        takes no completion actions — its helper would have died with it.
+        """
+        requests, self._pending, self._sealed = self._pending, [], False
+        sim = self.sim
+        now = sim.now
+        live: List[_MirrorRequest] = []
+        for request in requests:
+            lib = request.lib
+            request.t_start = now
+            request.neighbor_rank = lib.neighbor_rank
+            request.node_id = lib._neighbor_node
+            request.store = lib._neighbor_store_obj
+            if request.node_id is None:
+                self._finish(request, copied=False)
+            else:
+                live.append(request)
+        if not live:
+            return
+        n = len(live)
+        network = self.machine.network
+        src_nodes = np.fromiter(
+            (r.lib._my_node for r in live), dtype=np.int64, count=n
+        )
+        dst_nodes = np.fromiter(
+            (r.node_id for r in live), dtype=np.int64, count=n
+        )
+        nominal = np.fromiter(
+            (r.blob.nominal_bytes for r in live), dtype=np.int64, count=n
+        )
+        expected = network.transfer_time_round(src_nodes, dst_nodes, nominal)
+        expected_list = expected.tolist()
+        contexts = self.world.contexts
+        modeled: List[_MirrorRequest] = []
+        modeled_t = []
+        wired: List[_MirrorRequest] = []
+        for j, request in enumerate(live):
+            request.expected = expected_list[j]
+            lib = request.lib
+            segment = contexts[request.neighbor_rank].segments.find(
+                lib.config.mirror_segment
+            )
+            stage = min(len(request.blob.data), lib._mirror_seg_size)
+            if (segment is None or stage == 0
+                    or lib._mirror_queue_obj.full):
+                # the scalar fallback/QUEUE_FULL branches: Sleep(expected),
+                # count the copy as delivered without touching the wire
+                modeled.append(request)
+                modeled_t.append(sim.now + request.expected)
+                continue
+            request.stage = stage
+            request.segment = segment
+            wired.append(request)
+        if modeled:
+            t_arr = np.asarray(modeled_t, dtype=np.float64)
+            for t_val in np.unique(t_arr).tolist():
+                group = [modeled[i] for i in np.nonzero(t_arr == t_val)[0]]
+
+                def finish_modeled(group: List[_MirrorRequest] = group) -> None:
+                    for request in group:
+                        if request.lib._endpoint_obj.alive:
+                            self._finish_delivery(request)
+
+                sim.schedule_at(t_val, finish_modeled)
+        if wired:
+            self._post_wired(wired)
+
+    def _post_wired(self, wired: List[_MirrorRequest]) -> None:
+        transport = self.world.transport
+        srcs: List[int] = []
+        dsts: List[Optional[int]] = []
+        sizes: List[int] = []
+        write_counts: List[int] = []
+        apply_fns: List[Callable[[], Any]] = []
+        hang_fns: List[Callable[[], None]] = []
+        for request in wired:
+            srcs.append(request.lib.ctx.rank)
+            dsts.append(request.neighbor_rank)
+            sizes.append(request.blob.nominal_bytes)
+            # the scalar path chunks the staged prefix into <= 8 list
+            # entries; replicate the entry count for identical rdma stats
+            chunk = max(1, (request.stage + 7) // 8)
+            write_counts.append(-(-request.stage // chunk))
+            apply_fns.append(request.apply)
+            hang_fns.append(request.hang)
+        events = transport.post_rdma_scatter(
+            srcs, dsts, sizes, apply_fns, hang_fns, write_counts
+        )
+        for request, event in zip(wired, events):
+            request.lib._mirror_queue_obj.post(event)
+
+    def _on_timeout(self, request: _MirrorRequest) -> None:
+        if not request.lib._endpoint_obj.alive:
+            return
+        request.lib.ctx.queue_purge(request.lib._mirror_queue)
+        self._finish(request, copied=False)
+
+    def _finish_delivery(self, request: _MirrorRequest) -> None:
+        """Post-transfer bookkeeping, exactly the helper loop's epilogue."""
+        lib = request.lib
+        node_id = request.node_id
+        store = request.store
+        copied = False
+        if store.available and self._reachable(lib._my_node, node_id):
+            now = self.sim.now
+            store.put_pruned(request.key, request.blob,
+                             lib.config.keep_versions)
+            lib.stats["neighbor_copies"] += 1
+            copied = True
+            tracer = lib._tracer
+            if tracer.enabled:
+                tracer.emit(now, lib.ctx.rank, "ckpt_mirror",
+                            dur=now - request.t_start,
+                            version=request.key[2], node=node_id)
+            totals = self.phase_totals
+            totals["mirror_ops"] += 1
+            totals["mirror_bytes"] += request.blob.nominal_bytes
+            totals["mirror_s"] += now - request.t_start
+        # _finish, inlined on the every-rank-every-round path
+        request.mirrored.succeed(copied)
+        lib._round_inflight = None
+        if lib._round_deferred:
+            nxt = lib._round_deferred.popleft()
+            lib._round_inflight = nxt
+            self._enqueue(nxt)
+
+    def _finish(self, request: _MirrorRequest, copied: bool) -> None:
+        request.mirrored.succeed(copied)
+        lib = request.lib
+        lib._round_inflight = None
+        if lib._round_deferred:
+            nxt = lib._round_deferred.popleft()
+            lib._round_inflight = nxt
+            self._enqueue(nxt)
+
+    # ------------------------------------------------------------------
+    # whole-round commit (the coordinator API)
+    # ------------------------------------------------------------------
+    def commit_round(
+        self,
+        libs: Mapping[int, CheckpointLib],
+        version: int,
+        payloads: Mapping[int, Dict[str, np.ndarray]],
+        nominal_bytes: Union[int, Mapping[int, int], None] = None,
+    ) -> Generator[Any, Any, Dict[int, Event]]:
+        """Generator: commit one checkpoint round for many ranks at once.
+
+        Equivalent to every rank in ``payloads`` calling its library's
+        ``write_checkpoint(version, payload)`` in the same tick — same
+        store contents, stats, tracer events and virtual timestamps — but
+        driven by one coordinator: a single arena :meth:`pack_round`, one
+        grouped callback per distinct local-write duration, and the
+        manager's round mirror plane.  Returns ``{rank: mirrored_event}``
+        once the *synchronous* part (every rank's local write) finished;
+        the mirrors complete in the background like the scalar path.  A
+        rank that dies before its local write completes takes no actions,
+        like its killed generator wouldn't.
+        """
+        ranks = sorted(payloads)
+        sim = self.sim
+        t0 = sim.now
+        blobs = self.pack_round([payloads[r] for r in ranks])
+        if isinstance(nominal_bytes, int):
+            flat_nominal: Optional[int] = nominal_bytes
+            nominal_map: Optional[Mapping[int, int]] = None
+        else:
+            flat_nominal = None
+            nominal_map = nominal_bytes
+        items: List[Tuple[CheckpointLib, "Key", StoredBlob, Event]] = []
+        mirrors: Dict[int, Event] = {}
+        durations = np.empty(len(ranks), dtype=np.float64)
+        for i, (rank, data) in enumerate(zip(ranks, blobs)):
+            lib = libs[rank]
+            if flat_nominal is not None:
+                nom = flat_nominal
+            elif nominal_map is not None:
+                nom = nominal_map.get(rank) or len(data)
+            else:
+                nom = len(data)
+            blob = StoredBlob(data=data, nominal_bytes=nom)
+            key = (lib.config.tag, lib.logical_rank, version)
+            # event names are diagnostic only: a constant name keeps the
+            # per-rank construction cost flat without changing observables
+            mirrored = Event(name="ckpt-mirrored")
+            mirrors[rank] = mirrored
+            items.append((lib, key, blob, mirrored))
+            durations[i] = nom / lib.config.local_bandwidth
+        t_local = t0 + durations
+
+        def local_done(idxs: List[int]) -> None:
+            for i in idxs:
+                lib, key, blob, mirrored = items[i]
+                if not lib._endpoint_obj.alive:
+                    continue
+                store = lib._local_store_obj
+                store.put_pruned(key, blob, lib.config.keep_versions)
+                lib.stats["local_writes"] += 1
+                tracer = lib._tracer
+                if tracer.enabled:
+                    tracer.emit(sim.now, lib.ctx.rank, "ckpt_write",
+                                dur=sim.now - t0, version=version,
+                                bytes=blob.nominal_bytes)
+                self.submit(lib, key, blob, mirrored)
+
+        for t_val in np.unique(t_local).tolist():
+            idxs = np.nonzero(t_local == t_val)[0].tolist()
+            sim.schedule_at(t_val, lambda idxs=idxs: local_done(idxs))
+
+        committed = Event(name="ckpt-round")
+        sim.schedule_at(float(t_local.max()) if len(items) else t0,
+                        lambda: committed.succeed(None))
+        yield WaitEvent(committed)  # ftlint: disable=FT001 -- committed fires unconditionally at the round's max local-write time; no remote peer involved
+        return mirrors
+
+    # ------------------------------------------------------------------
+    # phase totals
+    # ------------------------------------------------------------------
+    def record_restore(self, source: str, nbytes: int,
+                       elapsed: float) -> None:
+        """Accumulate one restore into the per-phase totals."""
+        totals = self.phase_totals
+        totals["restore_ops"] += 1
+        totals["restore_bytes"] += nbytes
+        totals["restore_s"] += elapsed
+        key = f"restore_{source}_ops"
+        if key in totals:
+            totals[key] += 1

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Sequence
 
+import numpy as np
+
 
 def neighbor_of(
     rank: int,
@@ -38,5 +40,21 @@ def neighbor_map(
     participants: Sequence[int],
     node_of: Callable[[int], int],
 ) -> Dict[int, Optional[int]]:
-    """Neighbor of every participant (``None`` where no mirror exists)."""
-    return {r: neighbor_of(r, participants, node_of) for r in participants}
+    """Neighbor of every participant (``None`` where no mirror exists).
+
+    Builds the sorted ring and its node lookup once and derives every
+    position's partner with the active :mod:`repro.ft.rankstate`
+    ``ring_neighbors`` kernel — O(n) for the whole map instead of the
+    historical per-rank :func:`neighbor_of` rescan (O(n^2) total).  Each
+    entry equals ``neighbor_of(r, participants, node_of)`` exactly; the
+    scalar function stays as the property-test reference.
+    """
+    from repro.ft import rankstate
+
+    ring = sorted(participants)
+    if not ring:
+        return {}
+    nodes = np.fromiter((node_of(r) for r in ring), dtype=np.int64,
+                        count=len(ring))
+    nbr = rankstate.kernels().ring_neighbors(nodes)
+    return {r: (None if j < 0 else ring[int(j)]) for r, j in zip(ring, nbr)}

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import Dict, List, Mapping, Tuple, Union
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -46,39 +46,40 @@ class CheckpointCorrupt(Exception):
     """The blob failed structural or CRC validation."""
 
 
-def _entry_metas(payload: Payload) -> List[Tuple[bytes, bytes, Tuple[int, ...], int]]:
-    """Per entry ``(name_b, dtype_b, shape, nbytes)`` — no data copies."""
-    metas = []
-    for name, value in payload.items():
-        arr = np.asarray(value)
-        metas.append((
-            name.encode("utf-8"),
-            arr.dtype.str.encode("ascii"),
-            arr.shape,
-            arr.nbytes,
-        ))
-    return metas
+#: compiled entry-header packers keyed by (name len, dtype len, ndim) —
+#: header layouts recur across checkpoints, so each shape is compiled once
+_HDR_STRUCTS: Dict[Tuple[int, int, int], struct.Struct] = {}
+
+#: memoized *complete* header bytes keyed by (name, dtype, shape, nbytes).
+#: SPMD checkpoint rounds emit the identical header once per rank per
+#: round (only the array bytes differ), so the encode+pack runs once per
+#: distinct entry layout; bounded since layouts are few but payloads are
+#: caller-controlled
+_HDR_MEMO: Dict[Tuple[str, str, Tuple[int, ...], int], bytes] = {}
 
 
 def _entry_header(name_b: bytes, dtype_b: bytes, shape: Tuple[int, ...],
                   nbytes: int) -> bytes:
     ndim = len(shape)
-    return b"".join((
-        struct.pack("<HH", len(name_b), len(dtype_b)),
-        name_b,
-        dtype_b,
-        struct.pack("<B", ndim),
-        struct.pack(f"<{ndim}q", *shape),
-        struct.pack("<q", nbytes),
-    ))
+    key = (len(name_b), len(dtype_b), ndim)
+    packer = _HDR_STRUCTS.get(key)
+    if packer is None:
+        # '<' disables alignment padding, so one combined pack emits the
+        # same bytes as the historical field-by-field concatenation
+        packer = struct.Struct(
+            f"<HH{len(name_b)}s{len(dtype_b)}sB{ndim}qq")
+        _HDR_STRUCTS[key] = packer
+    return packer.pack(len(name_b), len(dtype_b), name_b, dtype_b,
+                       ndim, *shape, nbytes)
 
 
 def packed_size(payload: Payload) -> int:
     """Container size in bytes for ``payload`` (no array data is touched)."""
     total = _HEADER_SIZE
-    for name_b, dtype_b, shape, nbytes in _entry_metas(payload):
-        total += 4 + len(name_b) + len(dtype_b) + 1 + 8 * len(shape) + 8
-        total += nbytes
+    for name, value in payload.items():
+        arr = np.asarray(value)
+        total += (13 + len(name.encode("utf-8")) + len(arr.dtype.str)
+                  + 8 * arr.ndim + arr.nbytes)
     return total
 
 
@@ -92,17 +93,22 @@ def _writable_u8(buf) -> memoryview:
     return mv
 
 
-def pack_checkpoint_into(payload: Payload, buf, offset: int = 0) -> int:
+def pack_checkpoint_into(payload: Payload,
+                         buf: Union[bytearray, memoryview, np.ndarray],
+                         offset: int = 0,
+                         size: Optional[int] = None) -> int:
     """Serialize ``payload`` directly into ``buf`` at ``offset``.
 
     ``buf`` is any writable buffer-protocol object (a ``bytearray``, a
     ``memoryview``, a segment slice, a numpy ``uint8`` array).  Array
-    bytes move exactly once and the CRC32 is computed streaming over the
-    destination, so no intermediate ``bytes`` object is ever built.
+    bytes move exactly once and the CRC32 is computed streaming as the
+    container is written, so no intermediate ``bytes`` object is ever
+    built.  ``size`` is an optional precomputed :func:`packed_size` (a
+    round packer already sized every payload for its prefix sum).
     Returns the number of bytes written (== :func:`packed_size`).
     """
     mv = _writable_u8(buf)
-    total = packed_size(payload)
+    total = packed_size(payload) if size is None else size
     if offset < 0 or offset + total > mv.nbytes:
         raise ValueError(
             f"buffer too small: need [{offset}, {offset + total}) "
@@ -112,7 +118,8 @@ def pack_checkpoint_into(payload: Payload, buf, offset: int = 0) -> int:
 
     out[:4] = _MAGIC
     struct.pack_into("<HI", out, 4, _VERSION, len(payload))
-    crc = zlib.crc32(out[:_CRC_OFFSET])
+    crc32 = zlib.crc32
+    crc = crc32(out[:_CRC_OFFSET])
 
     pos = _HEADER_SIZE
     for name, value in payload.items():
@@ -121,19 +128,27 @@ def pack_checkpoint_into(payload: Payload, buf, offset: int = 0) -> int:
             # the single normalisation copy (read-only inputs stay as-is:
             # they are only ever read from)
             arr = np.ascontiguousarray(arr)
-        header = _entry_header(
-            name.encode("utf-8"), arr.dtype.str.encode("ascii"),
-            arr.shape, arr.nbytes,
-        )
-        out[pos : pos + len(header)] = header
-        crc = zlib.crc32(out[pos : pos + len(header)], crc)
-        pos += len(header)
+        hkey = (name, arr.dtype.str, arr.shape, arr.nbytes)
+        header = _HDR_MEMO.get(hkey)
+        if header is None:
+            header = _entry_header(
+                name.encode("utf-8"), arr.dtype.str.encode("ascii"),
+                arr.shape, arr.nbytes,
+            )
+            if len(_HDR_MEMO) < 4096:
+                _HDR_MEMO[hkey] = header
+        end = pos + len(header)
+        out[pos:end] = header
+        crc = crc32(header, crc)
+        pos = end
         if arr.nbytes:
-            dest = np.frombuffer(out, dtype=np.uint8, count=arr.nbytes,
-                                 offset=pos)
-            np.copyto(dest, np.frombuffer(arr.data, dtype=np.uint8))
-            crc = zlib.crc32(out[pos : pos + arr.nbytes], crc)
-            pos += arr.nbytes
+            end = pos + arr.nbytes
+            # the source view feeds both the copy and the CRC: same bytes
+            # as re-reading the destination slice, one fewer traversal
+            data = memoryview(arr).cast("B")
+            out[pos:end] = data
+            crc = crc32(data, crc)
+            pos = end
     struct.pack_into("<I", out, _CRC_OFFSET, crc & 0xFFFFFFFF)
     return total
 

@@ -12,6 +12,7 @@ paper-scale checkpoint volumes without materialising them.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -24,7 +25,7 @@ class CheckpointNotFound(Exception):
     """No (consistent) checkpoint available from any source."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StoredBlob:
     """One checkpoint blob plus its accounting size."""
 
@@ -52,7 +53,11 @@ class NodeLocalStore:
     def put(self, key: Key, blob: StoredBlob) -> None:
         if not self.node.alive:
             raise CheckpointNotFound(f"node {self.node.node_id} is down")
-        self.node.local_store[(self._PREFIX, *key)] = blob
+        store = self.node.local_store
+        full = (self._PREFIX, *key)
+        if full not in store:
+            insort(self.node.ckpt_index.setdefault(key[:2], []), key[2])
+        store[full] = blob
 
     def get(self, key: Key) -> StoredBlob:
         if not self.node.alive:
@@ -66,23 +71,70 @@ class NodeLocalStore:
         return self.node.alive and (self._PREFIX, *key) in self.node.local_store
 
     def delete(self, key: Key) -> None:
-        self.node.local_store.pop((self._PREFIX, *key), None)
+        if self.node.local_store.pop((self._PREFIX, *key), None) is not None:
+            held = self.node.ckpt_index.get(key[:2])
+            if held is not None:
+                try:
+                    held.remove(key[2])
+                except ValueError:  # pragma: no cover - index is exact
+                    pass
+
+    def put_pruned(self, key: Key, blob: StoredBlob, keep: int) -> None:
+        """:meth:`put` then :meth:`prune` of the same owner, fused.
+
+        The hot write path (every local write and every landed mirror)
+        always prunes right after storing; fusing shares the aliveness
+        check and the single index lookup between the two halves.
+        """
+        if not self.node.alive:
+            raise CheckpointNotFound(f"node {self.node.node_id} is down")
+        store = self.node.local_store
+        full = (self._PREFIX, *key)
+        index = self.node.ckpt_index
+        pair = key[:2]
+        held = index.get(pair)
+        version = key[2]
+        if held is None:
+            index[pair] = [version]
+            store[full] = blob
+            return
+        if not held or held[-1] < version:
+            # the hot path: versions are written in increasing order, and
+            # a version absent from the (exact) index is absent from the
+            # store — no containment probe, no bisect
+            held.append(version)
+        elif full not in store:
+            insort(held, version)
+        store[full] = blob
+        if len(held) > keep:
+            stale, held[:] = held[:-keep], held[-keep:]
+            tag, logical_rank = key[0], key[1]
+            for stale_version in stale:
+                store.pop((self._PREFIX, tag, logical_rank, stale_version),
+                          None)
+
+    def prune(self, tag: str, logical_rank: int, keep: int) -> None:
+        """Delete all but the newest ``keep`` held versions.
+
+        Same outcome as deleting ``versions(tag, logical_rank)[:-keep]``
+        one by one, done in one pass over the version index (the hot
+        write path prunes after every checkpoint).
+        """
+        held = self.node.ckpt_index.get((tag, logical_rank))
+        if not held or len(held) <= keep:
+            return
+        stale, held[:] = held[:-keep], held[-keep:]
+        store = self.node.local_store
+        for version in stale:
+            store.pop((self._PREFIX, tag, logical_rank, version), None)
 
     # ------------------------------------------------------------------
     def versions(self, tag: str, logical_rank: int) -> List[int]:
         """Sorted versions held for ``(tag, logical_rank)``."""
         if not self.node.alive:
             return []
-        out = [
-            k[3]
-            for k in self.node.local_store
-            if isinstance(k, tuple)
-            and len(k) == 4
-            and k[0] == self._PREFIX
-            and k[1] == tag
-            and k[2] == logical_rank
-        ]
-        return sorted(out)
+        held = self.node.ckpt_index.get((tag, logical_rank))
+        return list(held) if held else []
 
     def latest_version(self, tag: str, logical_rank: int) -> Optional[int]:
         versions = self.versions(tag, logical_rank)

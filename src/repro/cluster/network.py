@@ -72,6 +72,9 @@ class Network:
 
     def reachable(self, node_a: int, node_b: int) -> bool:
         """Whether a message can currently flow between the two nodes."""
+        if not self._broken_links and not self._isolated_nodes:
+            # healthy fabric: nothing is cut, every pair is reachable
+            return True
         if node_a == node_b:
             # loopback never traverses the fabric
             return node_a not in self._isolated_nodes or True
@@ -129,25 +132,34 @@ class Network:
             base *= 1.0 + self.params.jitter * (2.0 * self._rng.random() - 1.0)
         return base
 
-    def transfer_time_round(self, node_a: int, nodes: np.ndarray,
-                            nbytes: int) -> np.ndarray:
-        """Whole-round alpha-beta pricing: ``node_a`` -> every node in
-        ``nodes``, ``nbytes`` each, in one vectorized call.
+    def transfer_time_round(self, node_a: int | np.ndarray,
+                            nodes: np.ndarray,
+                            nbytes: int | np.ndarray) -> np.ndarray:
+        """Whole-round alpha-beta pricing in one vectorized call.
 
-        Element ``i`` is bit-identical to
-        ``transfer_time(node_a, nodes[i], nbytes)`` — the float expression
-        mirrors the scalar operation order exactly, so a round-priced ping
-        sweep or notice broadcast lands on the same virtual timestamps as
-        the historical per-destination loop.  With jitter enabled the
+        ``node_a`` is a single source fanned to every node in ``nodes``
+        (the ping-sweep / notice-broadcast case), or an array pairing
+        ``node_a[i] -> nodes[i]`` (the checkpoint mirror round's
+        many-sources case).  ``nbytes`` is likewise a shared scalar or a
+        per-pair array.  Element ``i`` is bit-identical to
+        ``transfer_time(node_a[i], nodes[i], nbytes[i])`` — the float
+        expression mirrors the scalar operation order exactly, so a
+        round-priced sweep lands on the same virtual timestamps as the
+        historical per-destination loop.  With jitter enabled the
         per-destination draws come from the same RNG stream in destination
         order (the scalar loop's draw order), via the loop fallback.
         """
         nodes = np.asarray(nodes, dtype=np.int64)
         if self.params.jitter and self._rng is not None:
+            src = np.broadcast_to(np.asarray(node_a, dtype=np.int64),
+                                  nodes.shape)
+            size = np.broadcast_to(np.asarray(nbytes, dtype=np.int64),
+                                   nodes.shape)
             return np.array(
-                [self.transfer_time(node_a, int(b), nbytes) for b in nodes],
+                [self.transfer_time(int(a), int(b), int(s))
+                 for a, b, s in zip(src, nodes, size)],
                 dtype=np.float64,
             )
         lat = self.topology.latency_many(node_a, nodes)
         bw = self.topology.bandwidth_many(node_a, nodes)
-        return (self.params.per_message_overhead + lat) + nbytes / bw
+        return (self.params.per_message_overhead + lat) + np.asarray(nbytes) / bw

@@ -15,7 +15,7 @@ class Node:
     (checkpoint must be fetched from the neighbor node).
     """
 
-    __slots__ = ("node_id", "alive", "ranks", "local_store")
+    __slots__ = ("node_id", "alive", "ranks", "local_store", "ckpt_index")
 
     def __init__(self, node_id: int) -> None:
         self.node_id = node_id
@@ -23,11 +23,15 @@ class Node:
         self.ranks: List[int] = []
         # tag -> payload; used by repro.checkpoint.store.NodeLocalStore
         self.local_store: Dict[Any, Any] = {}
+        # (tag, logical rank) -> sorted held versions; maintained by
+        # NodeLocalStore so version listings don't rescan the whole store
+        self.ckpt_index: Dict[Any, List[int]] = {}
 
     def wipe(self) -> None:
         """Mark the node dead and lose everything stored locally."""
         self.alive = False
         self.local_store.clear()
+        self.ckpt_index.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.alive else "down"

@@ -27,19 +27,30 @@ class Topology(abc.ABC):
     # ------------------------------------------------------------------
     # vectorized views (whole-round pricing)
     # ------------------------------------------------------------------
-    def latency_many(self, node_a: int, nodes: np.ndarray) -> np.ndarray:
-        """Per-pair :meth:`latency` from ``node_a`` to every node in
-        ``nodes`` as a float64 array.  The base implementation loops (any
-        topology works); built-in topologies override it with closed-form
-        array expressions producing bit-identical values.
+    def latency_many(self, node_a: int | np.ndarray,
+                     nodes: np.ndarray) -> np.ndarray:
+        """Per-pair :meth:`latency` to every node in ``nodes`` as a float64
+        array.  ``node_a`` is a single source node or an array pairing
+        ``node_a[i] -> nodes[i]`` (the checkpoint mirror round's
+        many-sources case).  The base implementation loops (any topology
+        works); built-in topologies override it with closed-form array
+        expressions producing bit-identical values.
         """
-        return np.array([self.latency(node_a, int(b)) for b in nodes],
-                        dtype=np.float64)
+        src = np.broadcast_to(np.asarray(node_a, dtype=np.int64),
+                              np.asarray(nodes).shape)
+        return np.array(
+            [self.latency(int(a), int(b)) for a, b in zip(src, nodes)],
+            dtype=np.float64)
 
-    def bandwidth_many(self, node_a: int, nodes: np.ndarray) -> np.ndarray:
-        """Per-pair :meth:`bandwidth` from ``node_a``, vectorized."""
-        return np.array([self.bandwidth(node_a, int(b)) for b in nodes],
-                        dtype=np.float64)
+    def bandwidth_many(self, node_a: int | np.ndarray,
+                       nodes: np.ndarray) -> np.ndarray:
+        """Per-pair :meth:`bandwidth`, vectorized (``node_a`` scalar or
+        paired array, like :meth:`latency_many`)."""
+        src = np.broadcast_to(np.asarray(node_a, dtype=np.int64),
+                              np.asarray(nodes).shape)
+        return np.array(
+            [self.bandwidth(int(a), int(b)) for a, b in zip(src, nodes)],
+            dtype=np.float64)
 
 
 #: QDR InfiniBand-like defaults (LiMa cluster, paper Sect. V).

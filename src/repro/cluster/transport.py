@@ -399,6 +399,82 @@ class Transport:
         self.sim.schedule_at(t_done, finalize)
         return done
 
+    def post_rdma_scatter(
+        self,
+        srcs: Sequence[int],
+        dsts: Sequence[int],
+        sizes: Sequence[int],
+        apply_fns: Sequence[Callable[[], Any]],
+        hang_fns: Optional[Sequence[Optional[Callable[[], None]]]] = None,
+        write_counts: Optional[Sequence[int]] = None,
+    ) -> List[Event]:
+        """Pairwise round of independent one-sided ops, priced together.
+
+        Op ``i`` moves ``sizes[i]`` bytes from ``srcs[i]`` to ``dsts[i]``
+        — the checkpoint mirror round's many-sources shape (each rank ships
+        to its own neighbor), complementing :meth:`post_rdma_round`'s
+        one-source fan.  The whole round costs one vectorized
+        :meth:`Network.transfer_time_round` call per direction; op ``i``
+        completes at ``now + (lat_i + ack_i)`` with the path re-checked at
+        that moment, exactly like a doorbell-coalesced
+        :meth:`post_rdma_list` op posted by ``srcs[i]`` in the same tick.
+        A down path leaves event ``i`` unfired (the initiator's queue sees
+        timeouts) and invokes ``hang_fns[i]`` instead, letting the caller
+        arm its purge/timeout bookkeeping lazily.  ``write_counts[i]``
+        feeds the ``rdma_writes`` counter (the constituent writes each op
+        carries); each op counts as one fabric operation.
+
+        Event cost is O(distinct completion times), not O(ops): a uniform
+        fabric completes an entire mirror round in one callback.
+        """
+        n = len(srcs)
+        self.stats["rdma"] += n
+        self.stats["rdma_writes"] += (
+            n if write_counts is None else int(sum(write_counts))
+        )
+        events = [Event(name="rdma_scatter") for _ in range(n)]
+        if n == 0:
+            return events
+        t0 = self.sim.now
+        net = self.network
+        src_arr = np.asarray(srcs, dtype=np.int64)
+        dst_arr = np.asarray(dsts, dtype=np.int64)
+        if net.jittered:
+            # per-op RNG draws in op order, like a sequential post loop
+            lats = np.empty(n, dtype=np.float64)
+            acks = np.empty(n, dtype=np.float64)
+            for j in range(n):
+                lats[j] = self._latency(
+                    int(src_arr[j]), int(dst_arr[j]), int(sizes[j])
+                )
+                acks[j] = self._ack_latency(int(src_arr[j]), int(dst_arr[j]))
+        else:
+            src_nodes = self._nodes_arr[src_arr]
+            dst_nodes = self._nodes_arr[dst_arr]
+            lats = net.transfer_time_round(
+                src_nodes, dst_nodes, np.asarray(sizes, dtype=np.int64)
+            )
+            acks = net.transfer_time_round(
+                dst_nodes, src_nodes, self.params.small_message
+            )
+        t_done = t0 + (lats + acks)
+
+        for t_val in np.unique(t_done).tolist():
+            idxs = np.nonzero(t_done == t_val)[0].tolist()
+
+            def ring(idxs: List[int] = idxs) -> None:
+                for j in idxs:
+                    s, d = srcs[j], dsts[j]
+                    if not self._path_up(s, d):
+                        if hang_fns is not None and hang_fns[j] is not None:
+                            hang_fns[j]()  # type: ignore[misc]
+                        continue  # this op hangs; the rest proceed
+                    result = apply_fns[j]()
+                    events[j].succeed((True, result))
+
+            self.sim.schedule_at(t_val, ring)
+        return events
+
     # ------------------------------------------------------------------
     # ping (gaspi_proc_ping extension) — the detection mechanism
     # ------------------------------------------------------------------

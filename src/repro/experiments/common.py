@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster import FaultPlan, MachineSpec, TransportParams
-from repro.checkpoint.manager import CheckpointConfig
+from repro.checkpoint.manager import CheckpointConfig, CheckpointManager
 from repro.ft import FTConfig
 from repro.ft.app import FTRunResult, run_ft_application
 from repro.workloads.kernels import ModelLanczosProgram
@@ -52,6 +52,11 @@ class ScenarioOutcome:
     detection_time: float
     n_recoveries: int
     result: Optional[FTRunResult] = field(default=None, repr=False)
+    #: checkpoint-plane per-phase totals (mirror/restore ops, bytes,
+    #: virtual seconds) from the world's :class:`CheckpointManager` —
+    #: empty when the run never attached one (e.g. scalar kernels with no
+    #: restore)
+    ckpt_phases: Dict[str, float] = field(default_factory=dict, repr=False)
 
     @property
     def overhead(self) -> float:
@@ -154,6 +159,7 @@ def run_ft_scenario(
         result, unique_injects, spec
     )
     computation = total - redo - reinit - detection
+    manager = CheckpointManager.maybe_of(result.run.world)
     return ScenarioOutcome(
         name=name,
         spec=spec,
@@ -164,4 +170,5 @@ def run_ft_scenario(
         detection_time=detection,
         n_recoveries=n_rec,
         result=result,
+        ckpt_phases={} if manager is None else dict(manager.phase_totals),
     )

@@ -79,6 +79,11 @@ class VectorizedKernels:
     batched_sweep = True
     #: whether notice broadcasts use the round-priced ``write_round`` fan
     round_broadcast = True
+    #: whether checkpoint mirrors route through the world-level
+    #: ``CheckpointManager`` round-batched data plane (one vectorized
+    #: pricing call + shared staging arena per mirror round) instead of
+    #: the per-library helper process
+    round_checkpoint = True
 
     # ------------------------------------------------------------------
     # detector state
@@ -178,6 +183,37 @@ class VectorizedKernels:
         return keys[int(hits[0])]
 
     # ------------------------------------------------------------------
+    # checkpoint neighbor ring
+    # ------------------------------------------------------------------
+    @staticmethod
+    def ring_neighbors(ring_nodes: np.ndarray) -> np.ndarray:
+        """Mirror-partner ring positions for a whole checkpoint ring at once.
+
+        ``ring_nodes[i]`` is the node hosting ring position ``i`` (positions
+        are the sorted participants).  Returns ``out[i]`` = the first ring
+        position after ``i`` (cyclically) on a *different* node, or ``-1``
+        when every participant shares one node — the per-position
+        equivalent of :func:`repro.checkpoint.neighbor.neighbor_of`, built
+        in O(n) instead of an O(n) rescan per rank.
+
+        Works off the node-change points of the ring: with no change point
+        in ``[i, k)``, positions ``i..k`` all share ``ring_nodes[i]``, so
+        the first change point ``k`` at-or-after ``i`` puts the first
+        foreign node at ``k + 1``.
+        """
+        d = np.asarray(ring_nodes, dtype=np.int64)
+        n = int(d.shape[0])
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        change = np.flatnonzero(d != np.roll(d, -1))
+        if change.size == 0:
+            return np.full(n, -1, dtype=np.int64)
+        idx = np.searchsorted(change, np.arange(n))
+        first = change[np.where(idx == change.size, 0, idx)]
+        out: np.ndarray = (first + 1) % n
+        return out
+
+    # ------------------------------------------------------------------
     # group rebuild
     # ------------------------------------------------------------------
     @staticmethod
@@ -192,6 +228,7 @@ class ScalarKernels:
     derive_targets_each_scan = True
     batched_sweep = False
     round_broadcast = False
+    round_checkpoint = False
 
     @staticmethod
     def avoid_mask(statuses: np.ndarray) -> np.ndarray:
@@ -266,6 +303,20 @@ class ScalarKernels:
             if p == phys:
                 return logical
         return None
+
+    @staticmethod
+    def ring_neighbors(ring_nodes: np.ndarray) -> np.ndarray:
+        # the historical shape: an independent forward scan per position
+        d = [int(x) for x in np.asarray(ring_nodes)]
+        n = len(d)
+        out = np.full(n, -1, dtype=np.int64)
+        for i in range(n):
+            for step in range(1, n):
+                j = (i + step) % n
+                if d[j] != d[i]:
+                    out[i] = j
+                    break
+        return out
 
     @staticmethod
     def group_fill(group: "object", members: Sequence[int]) -> None:

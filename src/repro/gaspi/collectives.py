@@ -125,7 +125,9 @@ class CollectiveEngine:
         if inst is None:
             inst = _Instance(members)
             self._instances[key] = inst
-        elif inst.members != members:
+        # interned memberships make the match an identity check; the
+        # content compare only runs for non-interned callers
+        elif inst.members is not members and inst.members != members:
             raise GaspiUsageError(
                 f"collective {key} called with mismatched membership: "
                 f"{inst.members} vs {members}"

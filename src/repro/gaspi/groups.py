@@ -17,9 +17,47 @@ vectorized rebuild path of ``repro.ft.recovery``).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.gaspi.errors import GaspiUsageError
+
+
+class _Members(tuple):
+    """Membership tuple with a cached hash, interned per distinct set.
+
+    Collective instance keys embed the group's membership, and the
+    engine hashes that key on every dict operation.  A plain tuple
+    recomputes an O(n) hash per lookup, which turns one collective into
+    O(n²) work across its arrivals at 2048+ ranks.  Interning yields one
+    object per distinct membership — equal keys hit the per-element
+    identity fast path of tuple comparison — and the cached hash makes
+    every subsequent key hash O(1).  Content equality with plain tuples
+    is inherited from ``tuple``, so group identities still compare by
+    value (and matching degrades gracefully to content equality if an
+    interned instance is ever dropped from the table).
+    """
+
+    _hash: int
+    _interned: Dict[Tuple[int, ...], "_Members"] = {}
+
+    def __new__(cls, ranks: Iterable[int]) -> "_Members":
+        self = super().__new__(cls, ranks)
+        self._hash = tuple.__hash__(self)
+        return self
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    @classmethod
+    def intern(cls, ranks: Tuple[int, ...]) -> "_Members":
+        cached = cls._interned.get(ranks)
+        if cached is None:
+            if len(cls._interned) >= 4096:
+                # safe to drop: matching falls back to content equality
+                cls._interned.clear()
+            cached = cls(ranks)
+            cls._interned[ranks] = cached
+        return cached
 
 
 class Group:
@@ -84,9 +122,14 @@ class Group:
 
     @property
     def members(self) -> Tuple[int, ...]:
-        """Membership in deterministic (sorted) order."""
+        """Membership in deterministic (sorted) order.
+
+        Returns the interned :class:`_Members` instance — every group
+        with the same membership (across all ranks) shares one tuple
+        object, so collective-key hashing and matching stay O(1).
+        """
         if self._sorted is None:
-            self._sorted = tuple(sorted(self._members))
+            self._sorted = _Members.intern(tuple(sorted(self._members)))
         return self._sorted
 
     @property

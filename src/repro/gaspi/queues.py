@@ -38,6 +38,10 @@ class Queue:
 
     @property
     def full(self) -> bool:
+        # reaping only shrinks the queue: fewer raw entries than the depth
+        # can never be full, so the common case skips the reap entirely
+        if len(self._outstanding) < self.depth:
+            return False
         return self.size >= self.depth
 
     def post(self, completion: Event) -> None:

@@ -63,6 +63,17 @@ class Segment:
         self.check_range(offset, nbytes)
         return memoryview(self.buf)[offset : offset + nbytes]
 
+    def write_view(self, offset: int, nbytes: int) -> memoryview:
+        """Writable zero-copy byte window at ``offset`` (bounds-checked).
+
+        The writing counterpart of :meth:`read_view`: the caller copies
+        its payload straight into live segment memory (``view[:] = src``)
+        with one memcpy and no intermediate array wrapping — the shape
+        a doorbell-coalesced delivery callback wants.
+        """
+        self.check_range(offset, nbytes)
+        return memoryview(self.buf)[offset : offset + nbytes]
+
     def write_bytes(self, offset: int, data: Any) -> None:
         """Copy ``data`` into the segment at ``offset`` (bounds-checked).
 
@@ -107,6 +118,10 @@ class SegmentTable:
             return self._segments[segment_id]
         except KeyError:
             raise GaspiUsageError(f"segment {segment_id} does not exist") from None
+
+    def find(self, segment_id: int) -> Optional[Segment]:
+        """The segment if registered, else ``None`` (non-raising lookup)."""
+        return self._segments.get(segment_id)
 
     def delete(self, segment_id: int) -> None:
         if segment_id not in self._segments:

@@ -7,9 +7,11 @@ from repro.cluster import FaultPlan
 from repro.checkpoint import (
     CheckpointConfig,
     CheckpointLib,
+    CheckpointManager,
     CheckpointNotFound,
     ParallelFileSystem,
 )
+from repro.ft import rankstate
 from repro.gaspi import run_gaspi
 from repro.sim import Sleep, WaitEvent
 
@@ -201,9 +203,37 @@ def test_checkpoint_write_cost_scales_with_nominal_bytes():
 
 
 def test_staging_buffer_reused_and_old_versions_stay_intact():
-    """The pack staging buffer is reused across writes, and stored blobs
-    must be immutable snapshots — overwriting the staging buffer with a
-    later checkpoint must not corrupt earlier stored versions."""
+    """The pack staging arena is reused across writes, and stored blobs
+    must be immutable snapshots — overwriting the staging arena with a
+    later checkpoint must not corrupt earlier stored versions.
+
+    On the (default) round-checkpoint path the arena is the world
+    manager's shared one; the scalar per-library buffer is covered by
+    ``test_staging_buffer_reused_scalar_path``.
+    """
+
+    def main(ctx):
+        manager = CheckpointManager.of(ctx.world)
+        cfg = CheckpointConfig(keep_versions=4)
+        lib = CheckpointLib(ctx, logical_rank=0, participants=[0], config=cfg)
+        yield from lib.write_checkpoint(0, {"x": np.full(64, 1.0)})
+        staging = manager._arena
+        yield from lib.write_checkpoint(1, {"x": np.full(64, 2.0)})
+        same_buffer = manager._arena is staging  # equal size -> reused
+        yield from lib.write_checkpoint(2, {"x": np.full(128, 3.0)})
+        grew = len(manager._arena) >= 128 * 8
+        _, v0 = yield from lib.read_checkpoint(version=0)
+        _, v2 = yield from lib.read_checkpoint(version=2)
+        lib.shutdown()
+        return (same_buffer, grew, float(v0["x"][0]), float(v2["x"][0]))
+
+    run = run_gaspi(main, n_ranks=1)
+    assert run.result(0) == (True, True, 1.0, 3.0)
+
+
+def test_staging_buffer_reused_scalar_path():
+    """The per-library staging buffer behaves the same on the scalar
+    (helper-thread) path."""
 
     def main(ctx):
         cfg = CheckpointConfig(keep_versions=4)
@@ -219,7 +249,8 @@ def test_staging_buffer_reused_and_old_versions_stay_intact():
         lib.shutdown()
         return (same_buffer, grew, float(v0["x"][0]), float(v2["x"][0]))
 
-    run = run_gaspi(main, n_ranks=1)
+    with rankstate.use("scalar"):
+        run = run_gaspi(main, n_ranks=1)
     assert run.result(0) == (True, True, 1.0, 3.0)
 
 

@@ -2,11 +2,14 @@
 
 import pytest
 
+from repro.experiments import figure4
 from repro.experiments.figure4 import (
     as_rows,
+    curve_shape,
     default_spec,
     kill_schedule,
     run_bare,
+    run_curve,
     run_figure4,
 )
 from repro.experiments.common import run_ft_scenario
@@ -87,6 +90,36 @@ class TestTable1Shapes:
     def test_detection_varies_with_seed(self):
         samples = {round(measure_detection(8, seed=s), 6) for s in range(4)}
         assert len(samples) > 1  # random kill instants → random scan phase
+
+
+class TestFigure4Curve:
+    """The --curve shape gate against the digitized reference points."""
+
+    def test_shape_gate_passes_on_subset(self):
+        nodes = [8, 16, 32]
+        measured = run_curve(nodes)
+        rows, worst = curve_shape(nodes, measured)
+        assert [r[0] for r in rows] == nodes
+        assert worst <= figure4.CURVE_TOL
+
+    def test_shape_distance_catches_a_distorted_curve(self):
+        # a flat (non-linear) 8-node point breaks the normalized shape
+        _, worst = curve_shape([8, 256], [0.120, 0.258])
+        assert worst > figure4.CURVE_TOL
+
+    def test_curve_needs_two_points(self):
+        with pytest.raises(ValueError, match="at least two"):
+            curve_shape([256], [0.258])
+
+    def test_curve_cli_prints_gate_verdict(self, capsys):
+        figure4.main(["--curve", "--nodes", "8", "16", "32"])
+        out = capsys.readouterr().out
+        assert "shape gate" in out and "PASS" in out
+
+    def test_curve_cli_rejects_unknown_node_count(self, capsys):
+        with pytest.raises(SystemExit):
+            figure4.main(["--curve", "--nodes", "8", "48"])
+        assert "no digitized reference" in capsys.readouterr().err
 
 
 class TestHarnessPlumbing:

@@ -1,0 +1,31 @@
+"""recovery_compare's three-way baseline: the checkpoint-restore phase
+comes from the world manager's round-plane totals, not from summing
+per-rank stats dicts."""
+
+import pytest
+
+from repro.experiments import recovery_compare as rc
+
+
+@pytest.fixture(scope="module")
+def rows8():
+    return rc.run_comparison(sizes=(8,))
+
+
+def test_restore_phase_reported_from_manager_totals(rows8):
+    row = rows8[0]
+    # one failure -> the rescue read a checkpoint: bytes and virtual
+    # seconds of the restore phase must both be accounted
+    assert row.gaspi_restore_bytes > 0
+    assert row.gaspi_restore_s > 0
+    # the restore happens inside reconstruction, never exceeds it
+    assert row.gaspi_restore_s <= row.gaspi_reconstruction
+
+
+def test_ulfm_rows_have_no_restore_phase(rows8):
+    # shrinking recovery redistributes the domain instead of reading
+    # checkpoints; the comparison keeps those columns zero by construction
+    rendered = rc.as_rows(rows8)
+    assert len(rendered[0]) == len(rc.HEADERS)
+    assert rows8[0].ulfm_total == (rows8[0].ulfm_detection
+                                   + rows8[0].ulfm_reconstruction)

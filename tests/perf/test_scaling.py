@@ -14,7 +14,8 @@ from repro.perf.bench import (LOWER_IS_BETTER, TARGET_FLOOR, TARGET_SPEEDUP,
 def test_kernel_benches_run_in_both_modes(mode):
     fd = scaling.bench_fd_scan_us_per_rank(16, mode, rounds=2)
     rb = scaling.bench_group_rebuild_us_per_rank(16, mode, rounds=2)
-    assert fd > 0.0 and rb > 0.0
+    cm = scaling.bench_ckpt_mirror_us_per_rank(16, mode, rounds=2)
+    assert fd > 0.0 and rb > 0.0 and cm > 0.0
 
 
 def test_run_scaling_structure_without_scenarios():
@@ -23,6 +24,7 @@ def test_run_scaling_structure_without_scenarios():
     assert out["ranks"] == [8, 16]
     assert set(out["fd_scan_us_per_rank"]) == {"8", "16"}
     assert set(out["group_rebuild_us_per_rank"]) == {"8", "16"}
+    assert set(out["ckpt_mirror_us_per_rank"]) == {"8", "16"}
     assert out["scenario_wall_s"] == {}
     assert out["ranks_max_at_60s"] == 0
     assert out["skipped"] == []
@@ -33,11 +35,13 @@ def test_summary_metrics_pick_reference_or_largest():
     out = scaling.summary_metrics({
         "fd_scan_us_per_rank": table,
         "group_rebuild_us_per_rank": {"16": 8.0, "64": 6.0},
+        "ckpt_mirror_us_per_rank": {"16": 40.0, "256": 20.0},
         "scenario_wall_s": {"16": 0.1},
         "ranks_max_at_60s": 64,
     })
     assert out["fd_scan_us_per_rank"] == 2.0      # the 256-rank reference
     assert out["group_rebuild_us_per_rank"] == 6.0  # largest measured rung
+    assert out["ckpt_mirror_us_per_rank"] == 20.0  # the 256-rank reference
     assert out["ranks_max_at_60s"] == 64.0
 
 
@@ -45,7 +49,9 @@ def test_scaling_metrics_are_tracked_lower_is_better():
     for key in ("fd_scan_us_per_rank", "group_rebuild_us_per_rank"):
         assert key in LOWER_IS_BETTER
         assert TARGET_SPEEDUP[key] == 5.0
-    assert TARGET_FLOOR["ranks_max_at_60s"] == 256
+    assert "ckpt_mirror_us_per_rank" in LOWER_IS_BETTER
+    assert TARGET_SPEEDUP["ckpt_mirror_us_per_rank"] == 4.0
+    assert TARGET_FLOOR["ranks_max_at_60s"] == 1024
     # the inversion: a drop from 4 us to 1 us must read as a 4x speedup
     ratios = _speedup({"fd_scan_us_per_rank": 4.0},
                       {"fd_scan_us_per_rank": 1.0})
