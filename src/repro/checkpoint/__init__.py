@@ -1,13 +1,21 @@
-"""Neighbor node-level checkpoint/restart library for GASPI applications.
+"""Checkpoint/restart libraries for GASPI applications (three backends).
 
-This is the reproduction of the paper's third contribution (Sect. IV-C):
-an application-level C/R library where each rank checkpoints to its *local*
-node store and a helper thread asynchronously mirrors the checkpoint to the
-neighboring node (optionally, every k-th checkpoint also goes to the
-parallel file system).  The library is fault-aware: after a recovery the
-neighbor map is refreshed from the failed-process list, and a restore
-transparently falls back from the local store to the neighbor copy to the
-PFS copy.
+The core is the reproduction of the paper's third contribution
+(Sect. IV-C): an application-level C/R library where each rank
+checkpoints to its *local* node store and a helper thread asynchronously
+mirrors the checkpoint to the neighboring node (optionally, every k-th
+checkpoint also goes to the parallel file system).  The library is
+fault-aware: after a recovery the neighbor map is refreshed from the
+failed-process list, and a restore transparently falls back from the
+local store to the neighbor copy to the PFS copy.
+
+Two alternative backends share the same interface (select with
+``CheckpointConfig.backend`` via :func:`make_checkpoint_lib`): the
+classical synchronous-PFS baseline, and a ReStore-style backend that
+replicates each checkpoint in the memory of ``r`` other ranks
+(:mod:`repro.checkpoint.replicated`; arXiv:2203.01107).  See
+``CHECKPOINTS.md`` for wire formats, placement rules and the
+failure-tolerance comparison.
 
 Checkpoints are keyed by *logical* rank so that a rescue process (which
 adopts the failed process's logical identity) finds its predecessor's data.
@@ -24,9 +32,18 @@ from repro.checkpoint.store import CheckpointNotFound, NodeLocalStore, StoredBlo
 from repro.checkpoint.pfs import ParallelFileSystem
 from repro.checkpoint.neighbor import neighbor_of, neighbor_map
 from repro.checkpoint.manager import (
+    BACKENDS,
     CheckpointConfig,
     CheckpointLib,
     CheckpointManager,
+)
+from repro.checkpoint.replicated import (
+    CheckpointBackend,
+    PfsCheckpointLib,
+    ReplicatedCheckpointLib,
+    make_checkpoint_lib,
+    replica_holder_map,
+    replica_holders,
 )
 
 __all__ = [
@@ -41,7 +58,14 @@ __all__ = [
     "ParallelFileSystem",
     "neighbor_of",
     "neighbor_map",
+    "BACKENDS",
     "CheckpointConfig",
     "CheckpointLib",
     "CheckpointManager",
+    "CheckpointBackend",
+    "PfsCheckpointLib",
+    "ReplicatedCheckpointLib",
+    "make_checkpoint_lib",
+    "replica_holders",
+    "replica_holder_map",
 ]

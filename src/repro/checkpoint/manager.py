@@ -41,6 +41,7 @@ span) and ``restore`` (read path, any source).
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import (
@@ -70,14 +71,31 @@ from repro.checkpoint.serialization import (
     packed_size,
     unpack_checkpoint,
 )
-from repro.checkpoint.store import CheckpointNotFound, NodeLocalStore, StoredBlob
+from repro.checkpoint.store import (
+    CheckpointNotFound,
+    Key,
+    NodeLocalStore,
+    StoredBlob,
+)
 
 _SHUTDOWN = object()
+
+#: valid values of :attr:`CheckpointConfig.backend` (see ``CHECKPOINTS.md``)
+BACKENDS = ("neighbor", "pfs", "replicated")
 
 
 @dataclass
 class CheckpointConfig:
-    """Knobs of the checkpoint library."""
+    """Knobs of the checkpoint library (all three backends).
+
+    ``backend`` selects the protection scheme behind the common
+    ``CheckpointLib`` interface: ``"neighbor"`` is the paper's §IV-C
+    node-level neighbor mirroring, ``"pfs"`` the classical parallel-file-
+    system checkpoint it argues against, and ``"replicated"`` the
+    ReStore-style in-memory replication of
+    :mod:`repro.checkpoint.replicated` (checkpoints live in the memory of
+    ``replication`` other ranks; arXiv:2203.01107).
+    """
 
     tag: str = "ckpt"
     #: node-local store bandwidth (ramdisk/SSD), bytes/s
@@ -92,6 +110,14 @@ class CheckpointConfig:
     #: staging window size (bytes); blobs larger than this stage a prefix
     #: while the time model still charges the full nominal size
     mirror_window: int = 64 * 1024
+    #: which protection scheme backs the library (see :data:`BACKENDS`)
+    backend: str = "neighbor"
+    #: ReStore-style replication factor ``r``: how many replica holders
+    #: receive each rank's packed checkpoint; tolerates up to ``r - 1``
+    #: concurrent rank losses (FTHP-MPI's redundancy/MTTR knob)
+    replication: int = 2
+    #: GASPI segment id of the replicated backend's block landing window
+    replica_segment: int = 61
 
 
 class CheckpointLib:
@@ -236,8 +262,10 @@ class CheckpointLib:
         pack_checkpoint_into(payload, self._staging)
         return bytes(memoryview(self._staging)[:size])
 
-    def write_checkpoint(self, version: int, payload: Dict[str, np.ndarray],
-                         nominal_bytes: Optional[int] = None):
+    def write_checkpoint(
+        self, version: int, payload: Dict[str, np.ndarray],
+        nominal_bytes: Optional[int] = None,
+    ) -> Generator[Any, Any, Event]:
         """Generator: synchronous local checkpoint + async neighbor signal.
 
         Returns an :class:`Event` that fires once the background neighbor
@@ -410,9 +438,11 @@ class CheckpointLib:
         self.stats["local_writes"] += 1
         self._jobs.put((key, blob, Event(name=f"reprotect-{self.ctx.rank}")))
 
-    def read_checkpoint(self, version: Optional[int] = None,
-                        extra_nodes: Sequence[int] = (),
-                        reprotect: bool = True):
+    def read_checkpoint(
+        self, version: Optional[int] = None,
+        extra_nodes: Sequence[int] = (),
+        reprotect: bool = True,
+    ) -> Generator[Any, Any, Tuple[int, Dict[str, np.ndarray]]]:
         """Generator: restore ``(version, payload)``.
 
         Sources are tried in locality order: own node, the ``extra_nodes``
@@ -526,6 +556,59 @@ class _MirrorRequest:
         )
 
 
+@dataclass(slots=True)
+class _ScatterRequest:
+    """One rank's pending ReStore replica scatter (all ``r`` copies).
+
+    The request completes — firing ``protected`` with the landed-copy
+    count — once every copy either landed on its holder or failed
+    (dead holder, severed path, flush timeout).
+    """
+
+    manager: "CheckpointManager"
+    lib: Any  # ReplicatedCheckpointLib (import cycle: typed loosely)
+    key: Key
+    blob: StoredBlob
+    protected: Event
+    t_start: float = 0.0
+    #: copies still in flight; the request finishes when this hits zero
+    pending: int = 0
+    #: copies that actually landed on a live holder
+    landed: int = 0
+
+
+@dataclass(slots=True)
+class _ScatterCopy:
+    """One replica copy of a :class:`_ScatterRequest` (one holder)."""
+
+    request: _ScatterRequest
+    holder_rank: int
+    node_id: int
+    expected: float = 0.0
+    stage: int = 0
+    segment: Optional[Any] = None
+
+    def apply(self) -> None:
+        """Delivery callback: land the staged bytes in the holder's
+        replica window, then the landing epilogue (store + index)."""
+        stage = self.stage
+        data = self.request.blob.data
+        self.segment.write_view(0, stage)[:] = (
+            data if stage == len(data) else memoryview(data)[:stage]
+        )
+        if self.request.lib._endpoint_obj.alive:
+            self.request.manager._land_copy(self)
+
+    def hang(self) -> None:
+        """Arm the scatter flush timeout lazily: purge the owner's
+        scatter queue and count this copy as failed."""
+        manager = self.request.manager
+        manager.sim.schedule_at(
+            self.request.t_start + (self.expected * 1.5 + 1.0),
+            lambda: manager._on_scatter_timeout(self),
+        )
+
+
 class CheckpointManager:
     """World-level round-batched checkpoint mirror plane.
 
@@ -575,15 +658,31 @@ class CheckpointManager:
         #: requests accumulated in the current tick, flushed as one round
         self._pending: List[_MirrorRequest] = []
         self._sealed = False
+        #: replica scatters accumulated in the current tick (the ReStore
+        #: backend's analogue of ``_pending``, flushed as one round)
+        self._scatter_pending: List[_ScatterRequest] = []
+        self._scatter_sealed = False
         #: participant-tuple -> {rank: neighbor} map cache (tiny LRU; a
         #: run only ever sees a handful of participant sets)
         self._neighbor_maps: "OrderedDict[Tuple[int, ...], Dict[int, Optional[int]]]" = OrderedDict()
+        #: (participant-tuple, r) -> {rank: [holders]} placement cache for
+        #: the replicated backend (same tiny-LRU policy)
+        self._replica_maps: "OrderedDict[Tuple[Tuple[int, ...], int], Dict[int, List[int]]]" = OrderedDict()
+        #: replica location index: where each replicated checkpoint
+        #: *actually* landed (keys are the un-namespaced ``(tag, logical,
+        #: version)``).  Reads consult this instead of re-deriving
+        #: placement, so holder-map drift after a recovery cannot orphan
+        #: blobs that are still alive on their original holders.
+        self._replica_sets: Dict[Key, List[int]] = {}
+        #: (tag, logical rank) -> sorted versions ever replicated
+        self._replica_versions: Dict[Tuple[str, int], List[int]] = {}
         #: per-phase checkpoint-plane totals (bytes / virtual seconds)
         self.phase_totals: Dict[str, float] = {
             "mirror_ops": 0, "mirror_bytes": 0, "mirror_s": 0.0,
+            "scatter_ops": 0, "scatter_bytes": 0, "scatter_s": 0.0,
             "restore_ops": 0, "restore_bytes": 0, "restore_s": 0.0,
             "restore_local_ops": 0, "restore_neighbor_ops": 0,
-            "restore_pfs_ops": 0,
+            "restore_pfs_ops": 0, "restore_replicated_ops": 0,
         }
 
     # ------------------------------------------------------------------
@@ -670,12 +769,56 @@ class CheckpointManager:
             self._neighbor_maps.move_to_end(participants)
         return cached
 
+    def replica_map_for(
+        self, participants: Tuple[int, ...], r: int
+    ) -> Dict[int, List[int]]:
+        """The full replica-holder map of a (sorted) participant set.
+
+        Built once per distinct ``(set, r)`` with the vectorized placement
+        kernel; each entry equals ``replica_holders(rank, participants,
+        node_of, r)`` (no holder on the owner's node or its mirror
+        neighbor's node — see ``CHECKPOINTS.md``).
+        """
+        # local import: replicated.py imports this module at its top level
+        from repro.checkpoint.replicated import replica_holder_map
+
+        cache_key = (participants, r)
+        cached = self._replica_maps.get(cache_key)
+        if cached is None:
+            cached = replica_holder_map(participants, self.machine.node_of, r)
+            self._replica_maps[cache_key] = cached
+            while len(self._replica_maps) > 8:
+                self._replica_maps.popitem(last=False)
+        else:
+            self._replica_maps.move_to_end(cache_key)
+        return cached
+
     def _store(self, node_id: int) -> NodeLocalStore:
         store = self._stores.get(node_id)
         if store is None:
             store = NodeLocalStore(self.machine.node(node_id))
             self._stores[node_id] = store
         return store
+
+    # ------------------------------------------------------------------
+    # replica location index (ReStore backend)
+    # ------------------------------------------------------------------
+    def record_replica(self, key: Key, holder_rank: int) -> None:
+        """Record that ``holder_rank`` landed a replica of ``key``."""
+        holders = self._replica_sets.setdefault(key, [])
+        if holder_rank not in holders:
+            holders.append(holder_rank)
+        versions = self._replica_versions.setdefault((key[0], key[1]), [])
+        if key[2] not in versions:
+            insort(versions, key[2])
+
+    def replica_holders_of(self, key: Key) -> List[int]:
+        """Ranks recorded as holding a replica of ``key`` (may be dead)."""
+        return list(self._replica_sets.get(key, ()))
+
+    def replica_versions(self, tag: str, logical_rank: int) -> List[int]:
+        """Sorted versions ever replicated for ``(tag, logical_rank)``."""
+        return list(self._replica_versions.get((tag, logical_rank), ()))
 
     # ------------------------------------------------------------------
     # round data plane
@@ -849,6 +992,192 @@ class CheckpointManager:
             nxt = lib._round_deferred.popleft()
             lib._round_inflight = nxt
             self._enqueue(nxt)
+
+    # ------------------------------------------------------------------
+    # replica scatter plane (ReStore backend)
+    # ------------------------------------------------------------------
+    def submit_scatter(self, lib: Any, key: Key, blob: StoredBlob,
+                       protected: Event) -> None:
+        """Register one rank's replica scatter (ReStore commit).
+
+        Scatters submitted in the same tick coalesce into one round priced
+        by a single ``transfer_time_round`` call over *all* copies; a
+        scatter for a library whose previous scatter is still in flight
+        queues behind it (same FIFO discipline as the mirror plane).
+        """
+        request = _ScatterRequest(self, lib, key, blob, protected)
+        if lib._repl_inflight is not None:
+            lib._repl_deferred.append(request)
+            return
+        lib._repl_inflight = request
+        self._scatter_pending.append(request)
+        if not self._scatter_sealed:
+            self._scatter_sealed = True
+            self.sim.schedule(0.0, self._flush_scatter)
+
+    def _flush_scatter(self) -> None:
+        """Close the tick's scatter round, one copy per (owner, holder).
+
+        Classification per copy mirrors :meth:`_flush`: a holder without
+        the replica segment, an empty staging prefix, or a full scatter
+        queue is only modeled (completes after its expected transfer
+        time); the rest ship as one ``post_rdma_scatter`` on the owner's
+        dedicated scatter queue, with per-copy path re-checks at landing
+        and hang/timeout/purge semantics for severed paths.  An owner that
+        died mid-flight takes no completion actions.
+        """
+        requests: List[_ScatterRequest]
+        requests, self._scatter_pending, self._scatter_sealed = (
+            self._scatter_pending, [], False
+        )
+        sim = self.sim
+        now = sim.now
+        node_of = self.machine.node_of
+        copies: List[_ScatterCopy] = []
+        for request in requests:
+            request.t_start = now
+            holders: List[int] = list(request.lib.replica_ranks)
+            if not holders:
+                # no holders placeable (e.g. every other node excluded):
+                # the commit completes immediately, zero copies landed
+                self._finish_scatter(request)
+                continue
+            request.pending = len(holders)
+            copies.extend(
+                _ScatterCopy(request, holder, node_of(holder))
+                for holder in holders
+            )
+        if not copies:
+            return
+        n = len(copies)
+        network = self.machine.network
+        src_nodes = np.fromiter(
+            (c.request.lib._my_node for c in copies), dtype=np.int64, count=n
+        )
+        dst_nodes = np.fromiter(
+            (c.node_id for c in copies), dtype=np.int64, count=n
+        )
+        nominal = np.fromiter(
+            (c.request.blob.nominal_bytes for c in copies),
+            dtype=np.int64, count=n,
+        )
+        expected = network.transfer_time_round(src_nodes, dst_nodes, nominal)
+        expected_list = expected.tolist()
+        contexts = self.world.contexts
+        modeled: List[_ScatterCopy] = []
+        modeled_t = []
+        wired: List[_ScatterCopy] = []
+        for j, copy in enumerate(copies):
+            copy.expected = expected_list[j]
+            lib = copy.request.lib
+            segment = contexts[copy.holder_rank].segments.find(
+                lib.config.replica_segment
+            )
+            stage = min(len(copy.request.blob.data), lib._replica_seg_size)
+            if (segment is None or stage == 0
+                    or lib._scatter_queue_obj.full):
+                modeled.append(copy)
+                modeled_t.append(now + copy.expected)
+                continue
+            copy.stage = stage
+            copy.segment = segment
+            wired.append(copy)
+        if modeled:
+            t_arr = np.asarray(modeled_t, dtype=np.float64)
+            for t_val in np.unique(t_arr).tolist():
+                group = [modeled[i] for i in np.nonzero(t_arr == t_val)[0]]
+
+                def land_modeled(group: List[_ScatterCopy] = group) -> None:
+                    for copy in group:
+                        if copy.request.lib._endpoint_obj.alive:
+                            self._land_copy(copy)
+
+                sim.schedule_at(t_val, land_modeled)
+        if wired:
+            self._post_scatter_wired(wired)
+
+    def _post_scatter_wired(self, wired: List[_ScatterCopy]) -> None:
+        transport = self.world.transport
+        srcs: List[int] = []
+        dsts: List[Optional[int]] = []
+        sizes: List[int] = []
+        write_counts: List[int] = []
+        apply_fns: List[Callable[[], Any]] = []
+        hang_fns: List[Callable[[], None]] = []
+        for copy in wired:
+            srcs.append(copy.request.lib.ctx.rank)
+            dsts.append(copy.holder_rank)
+            sizes.append(copy.request.blob.nominal_bytes)
+            # same <= 8 list-entry chunking as the read path, for
+            # identical rdma op statistics
+            chunk = max(1, (copy.stage + 7) // 8)
+            write_counts.append(-(-copy.stage // chunk))
+            apply_fns.append(copy.apply)
+            hang_fns.append(copy.hang)
+        events = transport.post_rdma_scatter(
+            srcs, dsts, sizes, apply_fns, hang_fns, write_counts
+        )
+        for copy, event in zip(wired, events):
+            copy.request.lib._scatter_queue_obj.post(event)
+
+    def _on_scatter_timeout(self, copy: _ScatterCopy) -> None:
+        request = copy.request
+        lib = request.lib
+        if not lib._endpoint_obj.alive:
+            return
+        lib.ctx.queue_purge(lib._scatter_queue)
+        lib.stats["failed_copies"] += 1
+        request.pending -= 1
+        if request.pending == 0:
+            self._finish_scatter(request)
+
+    def _land_copy(self, copy: _ScatterCopy) -> None:
+        """Landing epilogue of one replica copy: store + location index.
+
+        The copy only counts when the holder process is alive, its node
+        is up, and the path from the owner is intact — ReStore's
+        in-memory-of-another-process semantics: a dead holder process
+        loses the replica even if its node survived.
+        """
+        request = copy.request
+        lib = request.lib
+        now = self.sim.now
+        store = self._store(copy.node_id)
+        if (self.transport.endpoint(copy.holder_rank).alive
+                and store.available
+                and self._reachable(lib._my_node, copy.node_id)):
+            key = request.key
+            store.put_pruned(("repl:" + key[0], key[1], key[2]),
+                             request.blob, lib.config.keep_versions)
+            self.record_replica(key, copy.holder_rank)
+            lib.stats["replica_copies"] += 1
+            request.landed += 1
+            tracer = lib._tracer
+            if tracer.enabled:
+                tracer.emit(now, lib.ctx.rank, "ckpt_scatter",
+                            dur=now - request.t_start, version=key[2],
+                            holder=copy.holder_rank, node=copy.node_id)
+            totals = self.phase_totals
+            totals["scatter_ops"] += 1
+            totals["scatter_bytes"] += request.blob.nominal_bytes
+            totals["scatter_s"] += now - request.t_start
+        else:
+            lib.stats["failed_copies"] += 1
+        request.pending -= 1
+        if request.pending == 0:
+            self._finish_scatter(request)
+
+    def _finish_scatter(self, request: _ScatterRequest) -> None:
+        request.protected.succeed(request.landed)
+        lib = request.lib
+        lib._repl_inflight = None
+        if lib._repl_deferred:
+            nxt = lib._repl_deferred.popleft()
+            lib._repl_inflight = nxt
+            self._scatter_pending.append(nxt)
+            if not self._scatter_sealed:
+                self._scatter_sealed = True
+                self.sim.schedule(0.0, self._flush_scatter)
 
     # ------------------------------------------------------------------
     # whole-round commit (the coordinator API)

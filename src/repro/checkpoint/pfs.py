@@ -13,7 +13,7 @@ t = 2 s — not one at 1 s and one at 2 s.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 from repro.sim import Event, Simulator, Sleep, WaitEvent
 from repro.checkpoint.store import CheckpointNotFound, Key, StoredBlob
@@ -102,8 +102,15 @@ class ParallelFileSystem:
         self.stats = {"writes": 0, "reads": 0, "bytes_written": 0, "bytes_read": 0}
 
     # ------------------------------------------------------------------
-    def write(self, key: Key, blob: StoredBlob):
-        """Generator: store a blob, charging contended transfer time."""
+    def write(self, key: Key,
+              blob: StoredBlob) -> Generator[Any, Any, None]:
+        """Generator: store a blob, charging contended transfer time.
+
+        The classical PFS checkpoint cost (the baseline of Sect. IV-C and
+        of ``recovery_compare``'s backend table): latency plus the blob's
+        share of the *aggregate* bandwidth, so a whole team writing at
+        once divides one pipe.
+        """
         yield Sleep(self.latency)
         done = self.link.start(blob.nominal_bytes)
         yield WaitEvent(done)  # ftlint: disable=FT001 -- PFS transfer completion is a locally simulated event; it always fires, there is no remote failure mode
@@ -111,8 +118,12 @@ class ParallelFileSystem:
         self.stats["writes"] += 1
         self.stats["bytes_written"] += blob.nominal_bytes
 
-    def read(self, key: Key):
-        """Generator: fetch a blob (returns it), charging transfer time."""
+    def read(self, key: Key) -> Generator[Any, Any, StoredBlob]:
+        """Generator: fetch a blob (returns it), charging transfer time.
+
+        Raises :class:`CheckpointNotFound` when the key was never
+        written — checked eagerly, before any time is charged.
+        """
         if key not in self._blobs:
             raise CheckpointNotFound(f"no blob {key} on PFS")
         blob = self._blobs[key]

@@ -160,8 +160,15 @@ def pack_checkpoint(payload: Payload) -> bytes:
     return bytes(buf)
 
 
-def unpack_checkpoint(blob, copy: bool = True) -> Dict[str, np.ndarray]:
+def unpack_checkpoint(
+    blob: Union[bytes, bytearray, memoryview, np.ndarray],
+    copy: bool = True,
+) -> Dict[str, np.ndarray]:
     """Parse a container back into ``{name: array}`` (CRC-validated).
+
+    The CRC32 check makes a successful unpack a *proof of byte
+    identity* with the packed payload — the property the replicated
+    backend's lose-``k``-and-recover tests assert on.
 
     ``blob`` is any buffer-protocol object.  With the default
     ``copy=True`` every array is an independent writable copy (one copy

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster import FaultPlan, MachineSpec, TransportParams
 from repro.checkpoint.manager import CheckpointConfig, CheckpointManager
+from repro.checkpoint.pfs import ParallelFileSystem
 from repro.ft import FTConfig
 from repro.ft.app import FTRunResult, run_ft_application
 from repro.workloads.kernels import ModelLanczosProgram
@@ -140,11 +141,16 @@ def run_ft_scenario(
         plan.kill_process(t, rank)
         injects.append(t)
     horizon = until or (spec.setup_time + spec.baseline_runtime) * 4 + 600
+    # the pfs backend (and pfs_every mirroring) needs an actual PFS model
+    needs_pfs = (cfg.checkpoint.backend == "pfs"
+                 or cfg.checkpoint.pfs_every > 0)
     result = run_ft_application(
         cfg, ModelLanczosProgram(spec),
         machine_spec=machine_for(cfg),
         fault_plan=plan if plan.events else None,
         until=horizon,
+        pfs_factory=(lambda sim: ParallelFileSystem(sim)) if needs_pfs
+        else None,
     )
     workers = result.worker_results()
     if not workers or any(w["status"] != "done" for w in workers.values()):

@@ -13,16 +13,24 @@ cost of the two philosophies after one process failure:
   smaller, so on top of the reconstruction every rank must *redistribute*
   its domain (the paper's motivation for non-shrinking recovery).
 
+A second table compares the non-shrinking scheme's *data-recovery path*
+across the three checkpoint backends of ``CHECKPOINTS.md`` — the paper's
+neighbor mirroring, the classical synchronous PFS, and the ReStore-style
+in-memory replicated backend — with per-backend restore bytes/latency
+columns.  Backends that never enter the restore phase (a failure-free
+run) report a dash, not zero.
+
 Run: ``python -m repro.experiments.recovery_compare [--sizes 8 16 ...]
-[--jobs N]`` — the per-size GASPI and ULFM measurements are independent
-simulations; ``--jobs`` fans them across a process pool.
+[--jobs N] [--backend neighbor|pfs|replicated|all] [--replication r]
+[--failure-free]`` — every measurement is an independent simulation;
+``--jobs`` fans them across a process pool.
 """
 
 from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +38,7 @@ from repro.sim import Sleep
 from repro.cluster import FaultPlan, MachineSpec, TransportParams
 from repro.gaspi import AllreduceOp, run_gaspi
 from repro.ulfm import UlfmComm, UlfmResult
+from repro.checkpoint.manager import BACKENDS, CheckpointConfig
 from repro.experiments.common import run_ft_scenario
 from repro.experiments.report import format_phase_summary, format_table
 from repro.experiments.sweep import SweepTask, run_sweep, run_traced_sweep
@@ -116,12 +125,100 @@ def measure_ulfm(n_ranks: int, error_timeout: float = 3.5) -> tuple:
     return t_detect - kill_t, t_ready - t_detect
 
 
+@dataclass
+class BackendRow:
+    """One (cluster size, backend) cell of the three-way backend table."""
+
+    n_ranks: int
+    backend: str
+    detection: float
+    reconstruction: float
+    #: restores actually performed — 0 in a failure-free run, in which
+    #: case the restore columns render as a dash, not zero
+    restore_ops: int
+    restore_bytes: float
+    restore_s: float
+
+    @property
+    def total(self) -> float:
+        return self.detection + self.reconstruction
+
+
+def measure_backend(n_ranks: int, backend: str = "neighbor",
+                    replication: int = 2,
+                    failure_free: bool = False) -> Tuple:
+    """One backend's detection/reconstruction/restore measurements.
+
+    Same scenario shape as :func:`measure_gaspi` (one process kill just
+    after a checkpoint round), with the checkpoint backend swapped via
+    the config knob; ``failure_free`` runs the identical workload without
+    the kill, so the restore phase never happens (the dash case).
+    """
+    spec = scaled_spec(workers=n_ranks, iterations=120,
+                       name=f"cmp-{backend}-{n_ranks}")
+    kill_times = None
+    if not failure_free:
+        kill_t = spec.setup_time + spec.time_of_iteration(
+            spec.checkpoint_interval + spec.checkpoint_interval // 4)
+        kill_times = [(kill_t, 1)]
+    outcome = run_ft_scenario(
+        f"gaspi-{backend}-{n_ranks}", spec, kill_times=kill_times,
+        n_spares=2,
+        checkpoint=CheckpointConfig(backend=backend,
+                                    replication=replication),
+    )
+    phases = outcome.ckpt_phases
+    return (outcome.detection_time, outcome.reinit_time,
+            int(phases.get("restore_ops", 0)),
+            phases.get("restore_bytes", 0.0), phases.get("restore_s", 0.0))
+
+
 def comparison_tasks(sizes: Sequence[int]) -> List[SweepTask]:
     tasks = []
     for n in sizes:
         tasks.append(SweepTask("compare", f"gaspi-{n}", measure_gaspi, (n,)))
         tasks.append(SweepTask("compare", f"ulfm-{n}", measure_ulfm, (n,)))
     return tasks
+
+
+def backend_tasks(sizes: Sequence[int],
+                  backends: Sequence[str] = BACKENDS,
+                  replication: int = 2,
+                  failure_free: bool = False) -> List[SweepTask]:
+    return [
+        SweepTask("backend-compare", f"{backend}-{n}", measure_backend,
+                  (n, backend, replication, failure_free))
+        for n in sizes for backend in backends
+    ]
+
+
+def _backend_rows_from_results(
+    sizes: Sequence[int], backends: Sequence[str], results: List,
+) -> List[BackendRow]:
+    rows = []
+    for idx, n in enumerate(sizes):
+        for jdx, backend in enumerate(backends):
+            det, rec, r_ops, r_bytes, r_s = results[idx * len(backends) + jdx]
+            rows.append(BackendRow(
+                n_ranks=n, backend=backend, detection=det,
+                reconstruction=rec, restore_ops=r_ops,
+                restore_bytes=r_bytes, restore_s=r_s,
+            ))
+    return rows
+
+
+def run_backend_comparison(
+    sizes: Sequence[int] = (8, 16, 32, 64, 128, 256),
+    backends: Sequence[str] = BACKENDS,
+    replication: int = 2,
+    jobs: Optional[int] = 1,
+    failure_free: bool = False,
+) -> List[BackendRow]:
+    """The three-way neighbor/PFS/replicated recovery-latency table."""
+    results = run_sweep(
+        backend_tasks(sizes, backends, replication, failure_free), jobs=jobs
+    )
+    return _backend_rows_from_results(sizes, backends, results)
 
 
 def _rows_from_results(sizes: Sequence[int], results: List) -> List[CompareRow]:
@@ -150,10 +247,28 @@ HEADERS = ["ranks", "GASPI detect[s]", "GASPI rebuild[s]",
 
 
 def as_rows(rows: List[CompareRow]) -> List[List]:
+    # a scenario that never entered the restore phase (no bytes and no
+    # time) renders a dash, not a misleading 0
     return [[r.n_ranks, r.gaspi_detection, r.gaspi_reconstruction,
-             r.gaspi_restore_bytes / 2**20, r.gaspi_restore_s,
+             (r.gaspi_restore_bytes / 2**20
+              if r.gaspi_restore_bytes or r.gaspi_restore_s else None),
+             (r.gaspi_restore_s
+              if r.gaspi_restore_bytes or r.gaspi_restore_s else None),
              r.gaspi_total, r.ulfm_detection, r.ulfm_reconstruction,
              r.ulfm_total] for r in rows]
+
+
+BACKEND_HEADERS = ["ranks", "backend", "detect[s]", "rebuild[s]",
+                   "restore[MiB]", "restore[s]", "total[s]"]
+
+
+def backend_as_rows(rows: List[BackendRow]) -> List[List]:
+    # the dash fix: a backend that never restored (failure-free run)
+    # reports "—" in the restore columns instead of 0
+    return [[r.n_ranks, r.backend, r.detection, r.reconstruction,
+             r.restore_bytes / 2**20 if r.restore_ops else None,
+             r.restore_s if r.restore_ops else None,
+             r.total] for r in rows]
 
 
 def main(argv=None) -> str:
@@ -167,6 +282,16 @@ def main(argv=None) -> str:
                         help="capture a structured trace (repro.obs) to "
                              "this JSONL file and print GASPI per-failure "
                              "phase latencies")
+    parser.add_argument("--backend", choices=list(BACKENDS) + ["all"],
+                        default="all",
+                        help="checkpoint backend(s) for the three-way "
+                             "recovery-path table (default: all)")
+    parser.add_argument("--replication", type=int, default=2, metavar="R",
+                        help="replica count r of the replicated backend "
+                             "(tolerates r-1 concurrent losses; default 2)")
+    parser.add_argument("--failure-free", action="store_true",
+                        help="run the backend table without the process "
+                             "kill (restore columns report a dash)")
     args = parser.parse_args(argv)
     if args.trace:
         from repro.obs.export import write_jsonl
@@ -192,7 +317,18 @@ def main(argv=None) -> str:
         "keeps the distribution and only reads checkpoints — the paper's\n"
         "argument for spare processes."
     )
-    return table
+    backends = BACKENDS if args.backend == "all" else (args.backend,)
+    backend_rows = run_backend_comparison(
+        args.sizes, backends=backends, replication=args.replication,
+        jobs=args.jobs, failure_free=args.failure_free,
+    )
+    backend_table = format_table(
+        BACKEND_HEADERS, backend_as_rows(backend_rows),
+        title=(f"Checkpoint-backend recovery paths "
+               f"(neighbor vs PFS vs replicated, r={args.replication})"))
+    print()
+    print(backend_table)
+    return table + "\n\n" + backend_table
 
 
 if __name__ == "__main__":  # pragma: no cover

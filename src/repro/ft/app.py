@@ -26,8 +26,8 @@ from repro.gaspi.config import GaspiConfig
 from repro.gaspi.constants import GASPI_BLOCK, AllreduceOp, ReturnCode
 from repro.gaspi.context import GaspiContext
 from repro.gaspi.runtime import GaspiRun, run_gaspi
-from repro.checkpoint.manager import CheckpointLib
 from repro.checkpoint.pfs import ParallelFileSystem
+from repro.checkpoint.replicated import CheckpointBackend, make_checkpoint_lib
 from repro.spmvm.ft_hooks import CommGuard, FailureAcknowledged
 from repro.spmvm.team import Team
 from repro.ft import rankstate
@@ -46,7 +46,8 @@ class FTContext:
 
     def __init__(self, ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
                  team: Team, epoch: int, extra_nodes: List[int],
-                 state_ckpt: CheckpointLib, setup_ckpt: CheckpointLib) -> None:
+                 state_ckpt: CheckpointBackend,
+                 setup_ckpt: CheckpointBackend) -> None:
         self.ctx = ctx
         self.cfg = cfg
         self.block = block
@@ -78,10 +79,12 @@ class FTContext:
             state_cfg = dataclasses.replace(cfg.checkpoint, tag="state")
             setup_cfg = dataclasses.replace(cfg.checkpoint, tag="setup",
                                             keep_versions=1, pfs_every=0)
-            state_ckpt = CheckpointLib(ctx, team.logical_rank, participants,
-                                       config=state_cfg, pfs=pfs)
-            setup_ckpt = CheckpointLib(ctx, team.logical_rank, participants,
-                                       config=setup_cfg, pfs=pfs)
+            state_ckpt = make_checkpoint_lib(ctx, team.logical_rank,
+                                             participants, config=state_cfg,
+                                             pfs=pfs)
+            setup_ckpt = make_checkpoint_lib(ctx, team.logical_rank,
+                                             participants, config=setup_cfg,
+                                             pfs=pfs)
         merged_extra = set(extra_nodes)
         if old is not None:
             merged_extra |= set(old.extra_nodes)  # keep known data sources

@@ -68,6 +68,40 @@ def kernels() -> "type[VectorizedKernels]":
     return VectorizedKernels if _mode == "vectorized" else ScalarKernels
 
 
+def _replica_ring_holders_scalar(ring_nodes: np.ndarray, r: int) -> np.ndarray:
+    """Reference replica placement: per-position forward scans.
+
+    For every ring position ``i`` walk forward (cyclically) and collect
+    the first ``r`` positions whose nodes are all distinct from each
+    other, from ``i``'s own node *and* from the node of ``i``'s mirror
+    neighbor (the first foreign node after ``i`` — the rank that already
+    holds the neighbor-backend copy).  Rows are padded with ``-1`` when
+    fewer than ``r`` eligible holders exist (small or node-shared rings).
+    """
+    d = [int(x) for x in np.asarray(ring_nodes)]
+    n = len(d)
+    out = np.full((n, r), -1, dtype=np.int64)
+    for i in range(n):
+        mirror_node = -1
+        for step in range(1, n):
+            j = (i + step) % n
+            if d[j] != d[i]:
+                mirror_node = d[j]
+                break
+        excluded = {d[i], mirror_node}
+        k = 0
+        for step in range(1, n):
+            if k == r:
+                break
+            j = (i + step) % n
+            if d[j] in excluded:
+                continue
+            out[i, k] = j
+            excluded.add(d[j])
+            k += 1
+    return out
+
+
 class VectorizedKernels:
     """NumPy struct-of-arrays kernels (the fast path)."""
 
@@ -213,6 +247,36 @@ class VectorizedKernels:
         out: np.ndarray = (first + 1) % n
         return out
 
+    @staticmethod
+    def replica_ring_holders(ring_nodes: np.ndarray, r: int) -> np.ndarray:
+        """Replica-holder ring positions for a whole ring at once.
+
+        ``out[i]`` lists the ``r`` ring positions (``-1``-padded) holding
+        ring position ``i``'s replicated checkpoint: the first ``r``
+        positions after ``i`` (cyclically) on nodes distinct from each
+        other, from ``i``'s own node and from ``i``'s mirror neighbor's
+        node — the ReStore-style placement rule of
+        :mod:`repro.checkpoint.replicated`.
+
+        Fast path: with every ring position on its own node (the paper's
+        one-rank-per-node testbed) and ``n >= r + 2``, the eligible
+        holders are simply the ``r`` positions after the mirror neighbor,
+        so the whole map is one broadcast add — and each position holds
+        exactly ``r`` owners (perfectly balanced load).  Any other node
+        layout falls back to the shared scalar reference.
+        """
+        d = np.asarray(ring_nodes, dtype=np.int64)
+        n = int(d.shape[0])
+        if n == 0:
+            return np.empty((0, r), dtype=np.int64)
+        if n >= r + 2 and np.unique(d).size == n:
+            out: np.ndarray = (
+                np.arange(n, dtype=np.int64)[:, None] + 2
+                + np.arange(r, dtype=np.int64)[None, :]
+            ) % n
+            return out
+        return _replica_ring_holders_scalar(d, r)
+
     # ------------------------------------------------------------------
     # group rebuild
     # ------------------------------------------------------------------
@@ -317,6 +381,14 @@ class ScalarKernels:
                     out[i] = j
                     break
         return out
+
+    @staticmethod
+    def replica_ring_holders(ring_nodes: np.ndarray, r: int) -> np.ndarray:
+        # the reference forward scans, shared with the vectorized set's
+        # general-layout fallback (identical output by construction)
+        return _replica_ring_holders_scalar(
+            np.asarray(ring_nodes, dtype=np.int64), r
+        )
 
     @staticmethod
     def group_fill(group: "object", members: Sequence[int]) -> None:

@@ -333,8 +333,14 @@ class GaspiContext:
         return ReturnCode.SUCCESS
 
     def read_list(self, entries: Sequence[ListEntry], src_rank: int,
-                  queue_id: int = 0) -> ReturnCode:
-        """``gaspi_read_list``: several gets from one rank as one request."""
+                  queue_id: int = 0,
+                  modeled_bytes: Optional[int] = None) -> ReturnCode:
+        """``gaspi_read_list``: several gets from one rank as one request.
+
+        ``modeled_bytes`` overrides the byte count the time model charges
+        (mirroring :meth:`write_list`; the replicated checkpoint backend
+        fetches a staged placeholder priced as its full replica share).
+        """
         queue = self._queue(queue_id)
         if queue.full:
             return ReturnCode.QUEUE_FULL
@@ -355,8 +361,12 @@ class GaspiContext:
                 for seg, off, size in remote_specs
             ]
 
+        model: Sequence[int] = (
+            [e[2] for e in entries] if modeled_bytes is None
+            else (modeled_bytes,)
+        )
         done = self.world.transport.post_rdma_list(
-            self.rank, src_rank, [e[2] for e in entries], apply,
+            self.rank, src_rank, model, apply,
             doorbell=queue_id,
         )
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Iterable, List
 
-from .tracer import CKPT_MIRROR, CKPT_WRITE, TraceEvent
+from .tracer import CKPT_MIRROR, CKPT_SCATTER, CKPT_WRITE, TraceEvent
 
 
 class Counter:
@@ -151,6 +151,8 @@ def registry_from_events(events: Iterable[TraceEvent]) -> MetricsRegistry:
                 reg.counter("ckpt.bytes_written").inc(bytes_)
         elif ev.etype == CKPT_MIRROR:
             reg.histogram("ckpt.mirror_s").observe(ev.dur)
+        elif ev.etype == CKPT_SCATTER:
+            reg.histogram("ckpt.scatter_s").observe(ev.dur)
 
     for rec in build_timelines(events):
         for phase, value in rec.phases().items():
@@ -180,6 +182,8 @@ def registry_from_traces(traces: Iterable[Any]) -> MetricsRegistry:
                     reg.counter("ckpt.bytes_written").inc(bytes_)
             elif ev.etype == CKPT_MIRROR:
                 reg.histogram("ckpt.mirror_s").observe(ev.dur)
+            elif ev.etype == CKPT_SCATTER:
+                reg.histogram("ckpt.scatter_s").observe(ev.dur)
         for rec in build_timelines(trace.events):
             for phase, value in rec.phases().items():
                 if value is not None:

@@ -31,6 +31,7 @@ Event taxonomy (see ``OBSERVABILITY.md`` for the full glossary)::
     proc_kill         gaspi_proc_kill of a suspect       (recovery)
     ckpt_write        local checkpoint written           (checkpoint)
     ckpt_mirror       neighbor copy landed               (checkpoint)
+    ckpt_scatter      replica copy landed on a holder    (checkpoint)
     restore           checkpoint state restored          (checkpoint/app)
     solver_iter       one solver iteration finished      (solvers)
     rollback          app resumed from restored state    (app)
@@ -53,14 +54,15 @@ SPARE_PROMOTE = "spare_promote"
 PROC_KILL = "proc_kill"
 CKPT_WRITE = "ckpt_write"
 CKPT_MIRROR = "ckpt_mirror"
+CKPT_SCATTER = "ckpt_scatter"
 RESTORE = "restore"
 SOLVER_ITER = "solver_iter"
 ROLLBACK = "rollback"
 
 EVENT_TYPES = frozenset({
     PING, FAILURE_INJECTED, DETECTION, BROADCAST_FLAGS, GROUP_REBUILD,
-    SPARE_PROMOTE, PROC_KILL, CKPT_WRITE, CKPT_MIRROR, RESTORE,
-    SOLVER_ITER, ROLLBACK,
+    SPARE_PROMOTE, PROC_KILL, CKPT_WRITE, CKPT_MIRROR, CKPT_SCATTER,
+    RESTORE, SOLVER_ITER, ROLLBACK,
 })
 
 #: one trace record: end timestamp (virtual s), emitting physical rank

@@ -60,6 +60,13 @@ TARGET_FLOOR = {
     "ranks_max_at_60s": 1024,
 }
 
+#: absolute ceilings checked by ``--check`` — lower-is-better metrics
+#: whose gate is a maximum, not a minimum (the replicated restore round
+#: must stay cheap enough that in-memory recovery beats the PFS path)
+TARGET_CEILING = {
+    "ckpt_replicated_restore_us_per_rank": 500.0,
+}
+
 #: metrics where smaller numbers are better (besides ``*_wall_s``);
 #: ``_speedup`` inverts their improvement ratio so > 1.0 means better
 LOWER_IS_BETTER = {
@@ -67,6 +74,7 @@ LOWER_IS_BETTER = {
     "fd_scan_us_per_rank",
     "group_rebuild_us_per_rank",
     "ckpt_mirror_us_per_rank",
+    "ckpt_replicated_restore_us_per_rank",
 }
 
 #: ``--check`` fails when a metric regresses more than this fraction
@@ -481,6 +489,8 @@ def _delta_table(report: Dict, effective: Dict[str, float]) -> str:
             target_s = f"x{TARGET_SPEEDUP[key]:.1f}"
         elif key in TARGET_FLOOR:
             target_s = f">={TARGET_FLOOR[key]}"
+        elif key in TARGET_CEILING:
+            target_s = f"<={TARGET_CEILING[key]:g}"
         else:
             target_s = "-"
         lines.append(f"{key:<28} {effective[key]:>14,.3f} "
@@ -522,14 +532,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--smoke-ranks", type=int, default=None, metavar="N",
                         help="worker count for --smoke (default: 256; CI "
                              "also runs the 1024-rank rung)")
+    parser.add_argument("--smoke-backend", default="neighbor",
+                        metavar="BACKEND",
+                        help="checkpoint backend for --smoke (neighbor, "
+                             "pfs or replicated; CI runs the replicated "
+                             "rung at 256 ranks)")
     args = parser.parse_args(argv)
 
     if args.smoke:
         from repro.perf.scaling import run_smoke
 
+        kwargs = {"backend": args.smoke_backend}
         if args.smoke_ranks is not None:
-            return run_smoke(workers=args.smoke_ranks)
-        return run_smoke()
+            kwargs["workers"] = args.smoke_ranks
+        return run_smoke(**kwargs)
 
     report = load_report(args.out)
     committed = _strip_env(report.get("current"))
@@ -599,6 +615,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                  if k in effective and effective[k] < floor}
         if below:
             print(f"FAIL: floors not met (targets {TARGET_FLOOR}): {below}")
+            failed = True
+        above = {k: effective[k] for k, ceiling in TARGET_CEILING.items()
+                 if k in effective and effective[k] > ceiling}
+        if above:
+            print(f"FAIL: ceilings exceeded (targets {TARGET_CEILING}): "
+                  f"{above}")
             failed = True
         regressed = _regressions(committed, metrics)
         if regressed:

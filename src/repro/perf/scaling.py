@@ -269,6 +269,82 @@ def bench_ckpt_mirror_us_per_rank(n_ranks: int = REFERENCE_RANKS,
 
 
 # ----------------------------------------------------------------------
+# kernel bench 4: replicated-backend restore round
+# ----------------------------------------------------------------------
+def bench_ckpt_replicated_restore_us_per_rank(
+    n_ranks: int = REFERENCE_RANKS,
+    mode: str = "vectorized",
+    rounds: Optional[int] = None,
+) -> float:
+    """Wall microseconds per rank per replicated-backend restore round.
+
+    Every rank commits one ReStore-style replicated checkpoint (r copies
+    scattered to its holders), then repeatedly restores it: the batched
+    ``read_list`` fetch across the surviving replica set, CRC-validated
+    unpack included — the per-rank cost of the recovery path the
+    replicated backend exists for.  Unlike the mirror bench there is no
+    per-mode pipeline split: the scatter/fetch planes are manager-driven
+    in both rankstate modes, so both run the identical code path (the
+    mode knob stays for ``BENCH_core.json`` symmetry).
+
+    Timing protocol matches :func:`bench_ckpt_mirror_us_per_rank`: one
+    untimed warm-up round (placement map build, store wiring, arena
+    growth), then the *fastest* timed round, with the collector paused.
+    """
+    import numpy as np
+
+    from repro.checkpoint import CheckpointConfig, ReplicatedCheckpointLib
+    from repro.ft import rankstate
+    from repro.gaspi import run_gaspi
+    from repro.sim import Sleep, WaitEvent
+
+    if rounds is None:
+        rounds = max(4, 16384 // n_ranks)
+    n_rounds = rounds + 1  # + the untimed warm-up round
+    payload = {"step": np.zeros(8)}
+    nominal = 1 << 20
+    period = 1.0  # virtual seconds between rounds; fetches land inside
+    wall = [0.0]
+
+    with rankstate.use(mode):
+        def main(ctx):
+            lib = ReplicatedCheckpointLib(
+                ctx, ctx.rank, range(n_ranks),
+                config=CheckpointConfig(backend="replicated", tag="bench"),
+            )
+            protected = yield from lib.write_checkpoint(
+                0, payload, nominal_bytes=nominal)
+            yield WaitEvent(protected, 10.0)
+            marks = []
+            for k in range(n_rounds):
+                yield Sleep((k + 1) * period - ctx.now)
+                if k >= 1 and ctx.rank == 0:
+                    # rank 0 resumes at every round top: consecutive
+                    # diffs span the whole world's restore round
+                    marks.append(time.perf_counter())
+                version, restored = yield from lib.read_checkpoint(
+                    0, reprotect=False)
+                assert version == 0 and "step" in restored
+            if ctx.rank == 0:
+                yield Sleep(period / 2)
+                marks.append(time.perf_counter())
+                wall[0] = min(b - a for a, b in zip(marks, marks[1:]))
+            lib.shutdown()
+
+        # standard benchmark hygiene: collector pauses otherwise land
+        # randomly inside the timed region
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            run_gaspi(main, n_ranks=n_ranks)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    return wall[0] / n_ranks * 1e6
+
+
+# ----------------------------------------------------------------------
 # end-to-end ladder: fixed per-rank workload, one failure per rung
 # ----------------------------------------------------------------------
 def scenario_wall_s(workers: int, mode: str = "vectorized") -> float:
@@ -304,6 +380,7 @@ def run_scaling(mode: str = "vectorized",
     fd_scan: Dict[str, float] = {}
     rebuild: Dict[str, float] = {}
     ckpt_mirror: Dict[str, float] = {}
+    ckpt_replicated: Dict[str, float] = {}
     walls: Dict[str, float] = {}
     skipped: List[str] = []
     ranks_max = 0
@@ -321,6 +398,8 @@ def run_scaling(mode: str = "vectorized",
             bench_group_rebuild_us_per_rank(n, mode), 3)
         ckpt_mirror[str(n)] = round(
             bench_ckpt_mirror_us_per_rank(n, mode), 3)
+        ckpt_replicated[str(n)] = round(
+            bench_ckpt_replicated_restore_us_per_rank(n, mode), 3)
 
     if scenarios:
         prev_n: Optional[int] = None
@@ -350,6 +429,7 @@ def run_scaling(mode: str = "vectorized",
         "fd_scan_us_per_rank": fd_scan,
         "group_rebuild_us_per_rank": rebuild,
         "ckpt_mirror_us_per_rank": ckpt_mirror,
+        "ckpt_replicated_restore_us_per_rank": ckpt_replicated,
         "scenario_wall_s": walls,
         "ranks_max_at_60s": ranks_max,
         "skipped": skipped,
@@ -372,13 +452,18 @@ def summary_metrics(scaling: Dict[str, object]) -> Dict[str, float]:
     fd_scan = scaling["fd_scan_us_per_rank"]
     rebuild = scaling["group_rebuild_us_per_rank"]
     ckpt_mirror = scaling["ckpt_mirror_us_per_rank"]
+    ckpt_replicated = scaling.get("ckpt_replicated_restore_us_per_rank", {})
     assert (isinstance(fd_scan, dict) and isinstance(rebuild, dict)
-            and isinstance(ckpt_mirror, dict))
+            and isinstance(ckpt_mirror, dict)
+            and isinstance(ckpt_replicated, dict))
     out = {
         "fd_scan_us_per_rank": at_reference(fd_scan),
         "group_rebuild_us_per_rank": at_reference(rebuild),
         "ckpt_mirror_us_per_rank": at_reference(ckpt_mirror),
     }
+    if ckpt_replicated:
+        out["ckpt_replicated_restore_us_per_rank"] = at_reference(
+            ckpt_replicated)
     if scaling.get("scenario_wall_s"):
         out["ranks_max_at_60s"] = float(scaling["ranks_max_at_60s"])
     return out
@@ -387,22 +472,30 @@ def summary_metrics(scaling: Dict[str, object]) -> Dict[str, float]:
 # ----------------------------------------------------------------------
 # CI smoke: one traced, validated, wall-capped 256-rank scenario
 # ----------------------------------------------------------------------
-def _smoke_outcome(workers: int):
+def _smoke_outcome(workers: int, backend: str = "neighbor",
+                   replication: int = 2):
     """Sweep worker: the reference-scale scenario, stripped for pickling."""
+    from repro.checkpoint.manager import CheckpointConfig
     from repro.experiments.common import run_ft_scenario
     from repro.workloads.spec import scaled_spec
 
     spec = scaled_spec(workers=workers, iterations=ITERATIONS,
                        name=f"smoke-{workers}")
+    overrides = {}
+    if backend != "neighbor":
+        overrides["checkpoint"] = CheckpointConfig(
+            backend=backend, replication=replication)
     outcome = run_ft_scenario(f"weak-{workers}", spec, kill_times=[KILL],
-                              n_spares=N_SPARES)
+                              n_spares=N_SPARES, **overrides)
     outcome.result = None
     return outcome
 
 
 def run_smoke(workers: int = REFERENCE_RANKS,
               wall_cap_s: float = WALL_CAP_S,
-              bulk_capacity: int = 4096) -> int:
+              bulk_capacity: int = 4096,
+              backend: str = "neighbor",
+              replication: int = 2) -> int:
     """The CI weak-scaling smoke: traced 256-rank scenario under a cap.
 
     Asserts that (a) the scenario finishes within ``wall_cap_s``, (b) the
@@ -410,6 +503,8 @@ def run_smoke(workers: int = REFERENCE_RANKS,
     lifecycle chain even at that scale — the tracer's bulk ring keeps the
     ping/solver-iteration flood from evicting the lifecycle events — and
     (c) exactly one recovery happened.  Returns a process exit status.
+    ``backend`` swaps the checkpoint backend under the same scenario, so
+    CI exercises the replicated restore path at reference scale too.
     """
     from repro.experiments.sweep import SweepTask, run_traced_sweep
     from repro.experiments.trace import validate_trace
@@ -417,13 +512,13 @@ def run_smoke(workers: int = REFERENCE_RANKS,
     t0 = time.perf_counter()
     results, traces = run_traced_sweep(
         [SweepTask("scaling-smoke", f"weak-{workers}", _smoke_outcome,
-                   (workers,))],
+                   (workers, backend, replication))],
         jobs=1, bulk_capacity=bulk_capacity)
     wall = time.perf_counter() - t0
 
     outcome, trace = results[0], traces[0]
     errors = validate_trace(trace)
-    print(f"weak-scaling smoke: {workers} ranks in {wall:.1f}s "
+    print(f"weak-scaling smoke [{backend}]: {workers} ranks in {wall:.1f}s "
           f"(cap {wall_cap_s:.0f}s), {outcome.n_recoveries} recovery, "
           f"{len(trace.events)} trace events "
           f"({trace.dropped_bulk} bulk-ring evictions tolerated)")

@@ -29,3 +29,45 @@ def test_ulfm_rows_have_no_restore_phase(rows8):
     assert len(rendered[0]) == len(rc.HEADERS)
     assert rows8[0].ulfm_total == (rows8[0].ulfm_detection
                                    + rows8[0].ulfm_reconstruction)
+
+
+@pytest.fixture(scope="module")
+def backend_rows8():
+    return rc.run_backend_comparison(sizes=(8,))
+
+
+def test_backend_table_covers_all_three_backends(backend_rows8):
+    assert [row.backend for row in backend_rows8] == list(rc.BACKENDS)
+    for row in backend_rows8:
+        assert row.n_ranks == 8
+        # at 8 ranks every backend completes a checkpoint before the
+        # kill, so every restore phase actually ran
+        assert row.restore_ops > 0
+        assert row.restore_bytes > 0
+        assert row.restore_s > 0
+        assert row.total == row.detection + row.reconstruction
+
+
+def test_replicated_restore_beats_pfs(backend_rows8):
+    by_backend = {row.backend: row for row in backend_rows8}
+    # in-memory parallel share fetch vs the contended shared PFS pipe
+    assert by_backend["replicated"].restore_s < by_backend["pfs"].restore_s
+
+
+def test_restore_columns_dash_when_restore_never_ran():
+    # the dash fix: restore_ops == 0 (failure-free run, or a kill before
+    # the first checkpoint lands) must render "—", never a numeric 0
+    row = rc.BackendRow(n_ranks=8, backend="replicated", detection=0.0,
+                        reconstruction=0.0, restore_ops=0,
+                        restore_bytes=0.0, restore_s=0.0)
+    rendered = rc.backend_as_rows([row])[0]
+    assert len(rendered) == len(rc.BACKEND_HEADERS)
+    assert rendered[4] is None and rendered[5] is None
+
+
+def test_failure_free_run_reports_no_restore_phase():
+    detection, reinit, restore_ops, restore_bytes, restore_s = (
+        rc.measure_backend(8, "neighbor", failure_free=True))
+    assert restore_ops == 0
+    assert restore_bytes == 0
+    assert restore_s == 0

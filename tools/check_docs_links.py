@@ -27,7 +27,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 DEFAULT_DOCS = [
     "README.md", "ARCHITECTURE.md", "OBSERVABILITY.md", "EXPERIMENTS.md",
-    "DESIGN.md", "CHANGELOG.md", "ANALYSIS.md",
+    "DESIGN.md", "CHANGELOG.md", "ANALYSIS.md", "CHECKPOINTS.md",
 ]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
