@@ -64,6 +64,7 @@ import numpy as np
 from repro.sim import Channel, Event, Sleep, WaitEvent
 from repro.gaspi.constants import ReturnCode
 from repro.gaspi.context import GaspiContext
+from repro.gaspi.groups import _Members
 from repro.checkpoint.neighbor import neighbor_map, neighbor_of
 from repro.checkpoint.pfs import ParallelFileSystem
 from repro.checkpoint.serialization import (
@@ -146,17 +147,20 @@ class CheckpointLib:
         self.logical_rank = logical_rank
         self.config = config or CheckpointConfig()
         self.pfs = pfs
-        self.participants: List[int] = sorted(participants)
+        self.participants: Sequence[int] = _Members.intern(
+            tuple(sorted(participants)))
         self.neighbor_rank: Optional[int] = None
         self._neighbor_node: Optional[int] = None
         self._neighbor_store_obj: Optional[NodeLocalStore] = None
         self.refresh(self.participants)
         # GASPI data plane for neighbor mirroring: own staging window plus
         # a dedicated queue, so mirror flushes never contend with the
-        # application's queue 0 (the paper's library thread does the same)
+        # application's queue 0 (the paper's library thread does the same).
+        # Every rank's window has the same shape, so they share one pooled
+        # arena allocation instead of one buffer per rank.
         if self.config.mirror_segment not in ctx.segments:
-            ctx.segment_create(self.config.mirror_segment,
-                               self.config.mirror_window)
+            ctx.segment_create_pooled(self.config.mirror_segment,
+                                      self.config.mirror_window)
         self._mirror_queue = ctx.queue_create()
         self._mirror_queue_obj = ctx._queue(self._mirror_queue)
         self._mirror_seg_size = ctx.segment(self.config.mirror_segment).size
@@ -197,12 +201,16 @@ class CheckpointLib:
         of the same participant set shares one map) instead of the per-rank
         O(n) :func:`neighbor_of` rescan; both yield the identical partner.
         """
-        self.participants = sorted(participants)
-        if self.ctx.rank in self.participants and len(self.participants) > 1:
+        # participants are interned: every library of one team shares the
+        # sorted tuple, its set (O(1) membership below) and its hash (the
+        # manager's neighbor-map cache key)
+        members = _Members.intern(tuple(sorted(participants)))
+        self.participants = members
+        if self.ctx.rank in members.member_set() and len(members) > 1:
             if self._round_kernels():
                 manager = CheckpointManager.of(self.ctx.world)
                 self.neighbor_rank = manager.neighbor_map_for(
-                    tuple(self.participants)
+                    members
                 )[self.ctx.rank]
             else:
                 self.neighbor_rank = neighbor_of(

@@ -46,6 +46,7 @@ import numpy as np
 from repro.sim import Event, Sleep
 from repro.gaspi.constants import ReturnCode
 from repro.gaspi.context import GaspiContext
+from repro.gaspi.groups import _Members
 from repro.checkpoint.manager import (
     CheckpointConfig,
     CheckpointLib,
@@ -179,16 +180,18 @@ class ReplicatedCheckpointLib:
         #: accepted for interface parity with the neighbor backend; the
         #: replicated backend never touches the PFS (that is its point)
         self.pfs = pfs
-        self.participants: List[int] = sorted(participants)
+        self.participants: Sequence[int] = _Members.intern(
+            tuple(sorted(participants)))
         #: current replica holders (placement, not location — reads use
         #: the manager's location index instead)
         self.replica_ranks: List[int] = []
         self.refresh(self.participants)
         # GASPI data plane: a block landing window plus two dedicated
-        # queues, so scatters and fetches never contend with queue 0
+        # queues, so scatters and fetches never contend with queue 0.
+        # Same-shaped landing windows share one pooled arena allocation.
         if self.config.replica_segment not in ctx.segments:
-            ctx.segment_create(self.config.replica_segment,
-                               self.config.mirror_window)
+            ctx.segment_create_pooled(self.config.replica_segment,
+                                      self.config.mirror_window)
         self._scatter_queue = ctx.queue_create()
         self._scatter_queue_obj = ctx._queue(self._scatter_queue)
         self._fetch_queue = ctx.queue_create()
@@ -214,12 +217,13 @@ class ReplicatedCheckpointLib:
         reads consult the manager's *location* index, so holder-map drift
         never orphans live copies.
         """
-        self.participants = sorted(participants)
-        if (self.ctx.rank in self.participants
-                and len(self.participants) > 1):
+        members = _Members.intern(tuple(sorted(participants)))
+        self.participants = members
+        if (self.ctx.rank in members.member_set()
+                and len(members) > 1):
             manager = CheckpointManager.of(self.ctx.world)
             self.replica_ranks = list(manager.replica_map_for(
-                tuple(self.participants), self.config.replication
+                members, self.config.replication
             ).get(self.ctx.rank, ()))
         else:
             self.replica_ranks = []
@@ -452,7 +456,8 @@ class PfsCheckpointLib:
         self.logical_rank = logical_rank
         self.config = config or CheckpointConfig(backend="pfs")
         self.pfs = pfs
-        self.participants: List[int] = sorted(participants)
+        self.participants: Sequence[int] = _Members.intern(
+            tuple(sorted(participants)))
         self.stats = {"local_writes": 0, "pfs_copies": 0, "pfs_reads": 0}
 
     @property
@@ -461,7 +466,7 @@ class PfsCheckpointLib:
 
     def refresh(self, participants: Iterable[int]) -> None:
         """The PFS is location-independent; only the roster updates."""
-        self.participants = sorted(participants)
+        self.participants = _Members.intern(tuple(sorted(participants)))
 
     def write_checkpoint(
         self, version: int, payload: Dict[str, np.ndarray],

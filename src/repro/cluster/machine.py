@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from repro.sim import Process, Simulator
 from repro.cluster.network import Network, NetworkParams
 from repro.cluster.node import Node
@@ -51,17 +53,19 @@ class Machine:
             params=self.spec.network_params,
         )
         self.transport = Transport(sim, self.network, self.spec.transport_params)
-        self._rank_to_node: Dict[int, int] = {}
         self._procs: Dict[int, List[Process]] = {}
         self._death_listeners: List[Callable[[int], None]] = []
 
-        rank = 0
+        # placement is regular (rank r lives on node r // procs_per_node),
+        # so it is computed in one vectorized pass and registered in bulk
+        # instead of n_ranks round-trips through transport.register()
+        ppn = self.spec.procs_per_node
+        n_ranks = self.spec.n_ranks
+        self._node_of = np.arange(n_ranks, dtype=np.int64) // ppn
         for node in self.nodes:
-            for _ in range(self.spec.procs_per_node):
-                node.ranks.append(rank)
-                self._rank_to_node[rank] = node.node_id
-                self.transport.register(rank, node.node_id)
-                rank += 1
+            start = node.node_id * ppn
+            node.ranks.extend(range(start, start + ppn))
+        self.transport.register_many(self._node_of)
         self.transport.set_kill_handler(self.kill_process)
 
     # ------------------------------------------------------------------
@@ -69,10 +73,10 @@ class Machine:
     # ------------------------------------------------------------------
     @property
     def n_ranks(self) -> int:
-        return len(self._rank_to_node)
+        return len(self._node_of)
 
     def node_of(self, rank: int) -> int:
-        return self._rank_to_node[rank]
+        return int(self._node_of[rank])
 
     def node(self, node_id: int) -> Node:
         return self.nodes[node_id]
@@ -81,10 +85,10 @@ class Machine:
         return list(self.nodes[node_id].ranks)
 
     def alive(self, rank: int) -> bool:
-        return self.transport.endpoint(rank).alive
+        return self.transport.is_alive(rank)
 
     def alive_ranks(self) -> List[int]:
-        return [r for r in range(self.n_ranks) if self.alive(r)]
+        return self.transport.alive_ranks()
 
     # ------------------------------------------------------------------
     # process registry
@@ -110,8 +114,7 @@ class Machine:
     # ------------------------------------------------------------------
     def kill_process(self, rank: int) -> None:
         """Fail-stop one rank. Idempotent."""
-        ep = self.transport.endpoint(rank)
-        if not ep.alive:
+        if not self.transport.is_alive(rank):
             return
         self.transport.mark_dead(rank)
         for proc in self._procs.get(rank, []):

@@ -125,15 +125,27 @@ class SweepResults:
 
 
 class Endpoint:
-    """Per-rank attachment point to the transport."""
+    """Per-rank attachment point to the transport.
 
-    __slots__ = ("rank", "node_id", "alive", "_inboxes")
+    Endpoint objects are materialised lazily (:meth:`Transport.endpoint`)
+    — liveness truth lives in the transport's rank-indexed arrays, so a
+    4096-rank world only instantiates endpoints for ranks that exchange
+    control-plane messages or are looked up explicitly.
+    """
 
-    def __init__(self, rank: int, node_id: int) -> None:
+    __slots__ = ("rank", "node_id", "_transport", "_inboxes")
+
+    def __init__(self, rank: int, node_id: int,
+                 transport: "Transport") -> None:
         self.rank = rank
         self.node_id = node_id
-        self.alive = True
+        self._transport = transport
         self._inboxes: Dict[str, Channel] = {}
+
+    @property
+    def alive(self) -> bool:
+        """Liveness, read from the transport's shared rank array."""
+        return bool(self._transport._alive[self.rank])
 
     def inbox(self, kind: str) -> Channel:
         """Per-message-kind FIFO of :class:`Delivery` objects."""
@@ -157,12 +169,15 @@ class Transport:
         self.network = network
         self.params = params or TransportParams()
         self._endpoints: Dict[int, Endpoint] = {}
-        #: per-rank node id / death time as dense arrays (rank-indexed) —
-        #: the struct-of-arrays view behind whole-round pricing.  A rank
-        #: that never died has ``t_death = +inf``.
+        #: per-rank node id / liveness / death time as dense arrays
+        #: (rank-indexed) — the struct-of-arrays truth behind whole-round
+        #: pricing, path checks and O(alive) liveness scans.  A rank that
+        #: never died has ``t_death = +inf``.
         self._nodes_arr: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._alive: np.ndarray = np.zeros(0, dtype=bool)
         self._t_death: np.ndarray = np.zeros(0, dtype=np.float64)
-        #: per-source set of targets whose channel is known broken
+        #: per-source set of targets whose channel is known broken; entries
+        #: appear on first breakage (most sources never see one)
         self._broken: Dict[int, Set[int]] = {}
         self._kill_handler: Optional[Callable[[int], None]] = None
         #: open same-tick doorbell batches, keyed by (src, doorbell key)
@@ -183,24 +198,62 @@ class Transport:
     # ------------------------------------------------------------------
     def register(self, rank: int, node_id: int) -> Endpoint:
         """Attach rank ``rank`` living on node ``node_id``."""
-        if rank in self._endpoints:
+        if self._registered(rank):
             raise ValueError(f"rank {rank} already registered")
-        ep = Endpoint(rank, node_id)
-        self._endpoints[rank] = ep
-        self._broken[rank] = set()
         if rank >= self._nodes_arr.shape[0]:
-            n_new = rank + 1
+            # geometric growth keeps incremental registration O(n) total
+            n_new = max(rank + 1, 2 * self._nodes_arr.shape[0])
             nodes = np.full(n_new, -1, dtype=np.int64)
             nodes[: self._nodes_arr.shape[0]] = self._nodes_arr
             self._nodes_arr = nodes
+            alive = np.zeros(n_new, dtype=bool)
+            alive[: self._alive.shape[0]] = self._alive
+            self._alive = alive
             t_death = np.full(n_new, np.inf, dtype=np.float64)
             t_death[: self._t_death.shape[0]] = self._t_death
             self._t_death = t_death
         self._nodes_arr[rank] = node_id
-        return ep
+        self._alive[rank] = True
+        return self.endpoint(rank)
+
+    def register_many(self, node_ids: Sequence[int]) -> None:
+        """Attach ranks ``0..n-1`` to their nodes in one pass.
+
+        The bulk-construction path: three array allocations for the whole
+        world instead of per-rank endpoint objects, broken-channel sets
+        and repeated array regrowth.  Endpoints materialise on demand via
+        :meth:`endpoint`.
+        """
+        if self._registered_count():
+            raise ValueError("register_many needs an empty transport")
+        self._nodes_arr = np.ascontiguousarray(node_ids, dtype=np.int64)
+        n = self._nodes_arr.shape[0]
+        self._alive = np.ones(n, dtype=bool)
+        self._t_death = np.full(n, np.inf, dtype=np.float64)
+
+    def _registered(self, rank: int) -> bool:
+        return (0 <= rank < self._nodes_arr.shape[0]
+                and int(self._nodes_arr[rank]) >= 0)
+
+    def _registered_count(self) -> int:
+        return int(np.count_nonzero(self._nodes_arr >= 0))
 
     def endpoint(self, rank: int) -> Endpoint:
-        return self._endpoints[rank]
+        ep = self._endpoints.get(rank)
+        if ep is None:
+            if not self._registered(rank):
+                raise KeyError(rank)
+            ep = Endpoint(rank, int(self._nodes_arr[rank]), self)
+            self._endpoints[rank] = ep
+        return ep
+
+    def is_alive(self, rank: int) -> bool:
+        """Liveness without materialising an endpoint object."""
+        return bool(self._alive[rank])
+
+    def alive_ranks(self) -> List[int]:
+        """All live ranks, via one vectorized scan of the alive array."""
+        return np.flatnonzero(self._alive).tolist()
 
     def set_kill_handler(self, fn: Callable[[int], None]) -> None:
         """Install the machine hook that fail-stops a rank on request."""
@@ -210,18 +263,20 @@ class Transport:
         """Machine hook: the process behind ``rank`` fail-stopped."""
         if np.isinf(self._t_death[rank]):
             self._t_death[rank] = self.sim.now
-        self._endpoints[rank].alive = False
+        self._alive[rank] = False
 
     # ------------------------------------------------------------------
     # path helpers
     # ------------------------------------------------------------------
     def _path_up(self, src: int, dst: int) -> bool:
-        a, b = self._endpoints[src], self._endpoints[dst]
-        return b.alive and self.network.reachable(a.node_id, b.node_id)
+        nodes = self._nodes_arr
+        return bool(self._alive[dst]) and self.network.reachable(
+            int(nodes[src]), int(nodes[dst]))
 
     def _latency(self, src: int, dst: int, nbytes: int) -> float:
-        a, b = self._endpoints[src], self._endpoints[dst]
-        return self.network.transfer_time(a.node_id, b.node_id, nbytes)
+        nodes = self._nodes_arr
+        return self.network.transfer_time(
+            int(nodes[src]), int(nodes[dst]), nbytes)
 
     def _ack_latency(self, src: int, dst: int) -> float:
         return self._latency(dst, src, self.params.small_message)
@@ -285,8 +340,8 @@ class Transport:
         self.stats["rdma"] += 1
         self.stats["rdma_writes"] += len(sizes) if n_writes is None else n_writes
         done = Event(name=f"rdma_list:{src}->{dst}")
-        a, b = self._endpoints[src], self._endpoints[dst]
-        lat = self.network.transfer_time_list(a.node_id, b.node_id, sizes)
+        nodes = self._nodes_arr
+        lat = self.network.transfer_time_list(int(nodes[src]), int(nodes[dst]), sizes)
         ack = self._ack_latency(src, dst)
 
         if doorbell is None:
@@ -360,7 +415,7 @@ class Transport:
             return done
         t0 = self.sim.now
         net = self.network
-        src_node = self._endpoints[src].node_id
+        src_node = int(self._nodes_arr[src])
         if net.jittered:
             # interleaved per-destination draws: the exact RNG order of a
             # sequential per-target post loop
@@ -484,7 +539,8 @@ class Transport:
         self.stats["ping"] += 1
         done = Event(name=f"ping:{src}->{dst}")
         p = self.params
-        if dst in self._broken[src]:
+        broken = self._broken.get(src)
+        if broken is not None and dst in broken:
             self.sim.schedule(p.fast_fail, lambda: done.succeed((False, None)))
             return done
         rtt = (
@@ -501,7 +557,7 @@ class Transport:
             if self._path_up(src, dst):
                 done.succeed((True, None))
             else:
-                self._broken[src].add(dst)
+                self._broken.setdefault(src, set()).add(dst)
 
                 def fail() -> None:
                     done.succeed((False, None))
@@ -572,7 +628,7 @@ class Transport:
             return done
         p = self.params
         t_post = self.sim.now
-        src_node = self._endpoints[src].node_id
+        src_node = int(self._nodes_arr[src])
         tgt = np.asarray(targets, dtype=np.int64)
         tgt_nodes = self._nodes_arr[tgt]
         fwd = self.network.transfer_time_round(
@@ -584,7 +640,7 @@ class Transport:
             src_node, tgt_nodes, p.small_message
         )
         rtt = (p.ping_overhead + fwd) + ack
-        broken0 = self._broken[src]
+        broken0 = self._broken.get(src, set())
         if broken0:
             is_broken = np.fromiter(
                 (t in broken0 for t in targets), dtype=bool, count=n
@@ -662,8 +718,10 @@ class Transport:
                 # a death since the last estimate stretched the sweep
                 self.sim.schedule_at(end, check)
                 return
-            for d in tgt[dead].tolist():
-                self._broken[src].add(int(d))
+            if dead.any():
+                broken = self._broken.setdefault(src, set())
+                for d in tgt[dead].tolist():
+                    broken.add(int(d))
             alive_mask = ~(is_broken | dead)
             done.succeed((True, SweepResults(
                 targets, alive_mask, starts.copy(), ends.copy()
@@ -714,7 +772,8 @@ class Transport:
     ) -> None:
         """One probe of a sweep; mirrors :meth:`post_ping` exactly."""
         p = self.params
-        if dst in self._broken[src]:
+        broken = self._broken.get(src)
+        if broken is not None and dst in broken:
             def fast_fail() -> None:
                 out[i] = (dst, False, t0, self.sim.now)
                 finish()
@@ -732,7 +791,7 @@ class Transport:
                 out[i] = (dst, True, t0, self.sim.now)
                 finish()
             else:
-                self._broken[src].add(dst)
+                self._broken.setdefault(src, set()).add(dst)
 
                 def fail() -> None:
                     out[i] = (dst, False, t0, self.sim.now)
@@ -744,10 +803,13 @@ class Transport:
 
     def forget_broken(self, src: int, dst: Optional[int] = None) -> None:
         """Clear the broken-channel cache (e.g. after link repair)."""
+        broken = self._broken.get(src)
+        if broken is None:
+            return
         if dst is None:
-            self._broken[src].clear()
+            broken.clear()
         else:
-            self._broken[src].discard(dst)
+            broken.discard(dst)
 
     # ------------------------------------------------------------------
     # control plane
@@ -768,7 +830,7 @@ class Transport:
         def deliver() -> None:
             if not self._path_up(src, dst):
                 return
-            self._endpoints[dst].inbox(kind).put(
+            self.endpoint(dst).inbox(kind).put(
                 Delivery(src=src, kind=kind, payload=payload, nbytes=nbytes, t_sent=t_sent)
             )
             self.sim.schedule(self._ack_latency(src, dst), lambda: done.succeed((True, None)))
@@ -790,11 +852,12 @@ class Transport:
         lat = self._latency(src, dst, self.params.small_message)
 
         def deliver() -> None:
-            ep = self._endpoints[dst]
+            nodes = self._nodes_arr
             reachable = self.network.reachable(
-                self._endpoints[src].node_id, ep.node_id
+                int(nodes[src]), int(nodes[dst])
             )
-            if reachable and ep.alive and self._kill_handler is not None:
+            if reachable and bool(self._alive[dst]) \
+                    and self._kill_handler is not None:
                 self._kill_handler(dst)
             self.sim.schedule(
                 self._ack_latency(src, dst), lambda: done.succeed((True, None))

@@ -127,11 +127,14 @@ def run_ft_scenario(
     n_spares: int = 4,
     fd_threads: int = 1,
     until: Optional[float] = None,
+    gaspi_config=None,
     **cfg_overrides,
 ) -> ScenarioOutcome:
     """Run the model kernel under the FT stack with optional kills.
 
-    ``kill_times`` are ``(time, physical rank)`` pairs.
+    ``kill_times`` are ``(time, physical rank)`` pairs.  ``gaspi_config``
+    overrides the GASPI world knobs (e.g. ``eager_world=True`` for the
+    flyweight-vs-eager equivalence tests).
     """
     cfg = ft_config_for(spec, n_spares=n_spares, fd_threads=fd_threads,
                         **cfg_overrides)
@@ -147,6 +150,7 @@ def run_ft_scenario(
     result = run_ft_application(
         cfg, ModelLanczosProgram(spec),
         machine_spec=machine_for(cfg),
+        gaspi_config=gaspi_config,
         fault_plan=plan if plan.events else None,
         until=horizon,
         pfs_factory=(lambda sim: ParallelFileSystem(sim)) if needs_pfs

@@ -340,6 +340,9 @@ def ft_main(cfg: FTConfig, program: FTProgram,
             pfs_factory=None):
     """Build the per-rank main function for :func:`run_gaspi`."""
     pfs_cache: Dict[int, ParallelFileSystem] = {}
+    # the identity map is the same on every worker and never mutated
+    # (recoveries build fresh maps), so all initial Teams share one dict
+    initial_map = ActiveRankMap.initial(cfg.n_workers).logical_to_physical
 
     def main(ctx: GaspiContext):
         pfs = None
@@ -358,7 +361,7 @@ def ft_main(cfg: FTConfig, program: FTProgram,
             ctx=ctx,
             group=_initial_group(ctx, cfg),
             logical_rank=ctx.rank,
-            rank_map=ActiveRankMap.initial(cfg.n_workers).logical_to_physical,
+            rank_map=initial_map,
         )
         ftx = FTContext.build(ctx, cfg, block, team, epoch=0, extra_nodes=[],
                               pfs=pfs)

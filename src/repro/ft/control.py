@@ -58,7 +58,15 @@ class FailureNotice:
 
 
 class ControlBlock:
-    """Typed view over one rank's FT control segment."""
+    """Typed view over one rank's FT control segment.
+
+    The segment is copy-on-write: every rank's block starts byte-identical
+    (a pure function of the layout parameters), so all pristine blocks of
+    one world read through a single shared template array —
+    :meth:`init_local` costs nothing per rank — and a block only gets a
+    private buffer when something actually writes it (the FD staging a
+    notice, a broadcast landing, the done flag).
+    """
 
     def __init__(self, ctx: GaspiContext, cfg: FTConfig) -> None:
         self.ctx = ctx
@@ -73,7 +81,40 @@ class ControlBlock:
         self.n_cells = self._off_map + cfg.n_workers
         if FT_SEGMENT not in ctx.segments:
             ctx.segment_create(FT_SEGMENT, self.n_cells * _I8)
-        self.cells = ctx.segment_view(FT_SEGMENT, np.int64, 0, self.n_cells)
+        seg = ctx.segments.get(FT_SEGMENT)
+        self._seg = seg
+        if seg.pristine:
+            seg.adopt_template(self._shared_template())
+
+    def _shared_template(self) -> np.ndarray:
+        """The world's one read-only copy of the initial block content."""
+        world = self.ctx.world
+        cache = getattr(world, "_ft_control_templates", None)
+        if cache is None:
+            cache = {}
+            world._ft_control_templates = cache  # type: ignore[attr-defined]
+        cfg = self.cfg
+        key = (self.n_cells, cfg.n_ranks, cfg.n_workers, cfg.fd_rank)
+        template = cache.get(key)
+        if template is None:
+            cells = np.zeros(self.n_cells, dtype=np.int64)
+            self._fill_initial(cells)
+            template = cells.view(np.uint8)
+            template.setflags(write=False)
+            cache[key] = template
+        return template
+
+    @property
+    def cells(self) -> np.ndarray:
+        """Whole-block int64 view — read-only while the block is pristine."""
+        return self._seg.cells64()
+
+    def _cells_rw(self) -> np.ndarray:
+        """Writable cells (materialises the private buffer on first use)."""
+        seg = self._seg
+        if seg.pristine:
+            _ = seg.buf
+        return seg.cells64()
 
     # ------------------------------------------------------------------
     # named accessors
@@ -94,7 +135,13 @@ class ControlBlock:
         return Role(int(self.cells[self._off_status + rank]))
 
     def statuses(self) -> np.ndarray:
+        """Status array view — read-only while the block is pristine."""
         return self.cells[self._off_status : self._off_status + self.cfg.n_ranks]
+
+    def statuses_rw(self) -> np.ndarray:
+        """Writable, live status array (the FD's working view)."""
+        cells = self._cells_rw()
+        return cells[self._off_status : self._off_status + self.cfg.n_ranks]
 
     def rank_map(self) -> Dict[int, int]:
         cells = self.cells[self._off_map : self._off_map + self.cfg.n_workers]
@@ -122,16 +169,27 @@ class ControlBlock:
     def init_local(self) -> None:
         """Fill the block with the initial roles and identity mapping.
 
+        A pristine block already reads the shared template (which holds
+        exactly this content), so the per-rank fill is skipped entirely;
+        only an already-written block is explicitly re-initialised.
+        """
+        if self._seg.pristine:
+            return
+        self._fill_initial(self._cells_rw())
+
+    def _fill_initial(self, cells: np.ndarray) -> None:
+        """Write the initial roles and identity map into ``cells``.
+
         Array fills rather than per-rank loops; equivalent to writing
         ``cfg.role_of(rank)`` for every rank (workers, then idles, with
         the last rank as FD) and the identity map.
         """
-        self.cells[:] = 0
-        statuses = self.cells[self._off_status : self._off_status + self.cfg.n_ranks]
+        cells[:] = 0
+        statuses = cells[self._off_status : self._off_status + self.cfg.n_ranks]
         statuses[:] = int(Role.IDLE)
         statuses[: self.cfg.n_workers] = int(Role.WORKING)
         statuses[self.cfg.fd_rank] = int(Role.FD)
-        self.cells[self._off_map : self._off_map + self.cfg.n_workers] = np.arange(
+        cells[self._off_map : self._off_map + self.cfg.n_workers] = np.arange(
             self.cfg.n_workers, dtype=np.int64
         )
 
@@ -140,18 +198,37 @@ class ControlBlock:
     # ------------------------------------------------------------------
     def check_failure(self, seen_epoch: int) -> Optional[FailureNotice]:
         """Local-memory check: a new notice since ``seen_epoch``?"""
-        if not self.cells[1] or self.cells[0] <= seen_epoch:
+        cells = self._seg.cells64()
+        if not cells[1] or cells[0] <= seen_epoch:
             return None
         return self.read_notice()
 
     def read_notice(self) -> FailureNotice:
-        return FailureNotice(
-            epoch=self.epoch,
-            failed=tuple(self.failed_list()),
-            rescues=tuple(self.rescue_list()),
-            status=tuple(int(s) for s in self.statuses()),
-            rank_map=self.rank_map(),
-        )
+        """Parse the local block's current notice.
+
+        Within one world a notice's content is a pure function of its
+        epoch (the FD composes it once and byte-copies it everywhere), so
+        the parse — O(n_ranks) tuple and dict building — runs once per
+        epoch per world instead of once per rank; every other rank gets
+        the shared, never-mutated :class:`FailureNotice`.
+        """
+        epoch = self.epoch
+        world = self.ctx.world
+        cache = getattr(world, "_ft_notice_cache", None)
+        if cache is None:
+            cache = {}
+            world._ft_notice_cache = cache  # type: ignore[attr-defined]
+        notice = cache.get(epoch)
+        if notice is None:
+            notice = FailureNotice(
+                epoch=epoch,
+                failed=tuple(self.failed_list()),
+                rescues=tuple(self.rescue_list()),
+                status=tuple(int(s) for s in self.statuses()),
+                rank_map=self.rank_map(),
+            )
+            cache[epoch] = notice
+        return notice
 
     # ------------------------------------------------------------------
     # FD-side composition and broadcast
@@ -168,23 +245,29 @@ class ControlBlock:
         max_failed = self.cfg.n_ranks
         if len(failed) > max_failed:
             raise ValueError(f"{len(failed)} failures exceed capacity {max_failed}")
-        self.cells[0] = epoch
-        self.cells[1] = 1
-        self.cells[3] = len(failed)
-        self.cells[4] = len(rescues)
-        self.cells[self._off_failed : self._off_failed + max_failed] = 0
-        self.cells[self._off_failed : self._off_failed + len(failed)] = failed
-        self.cells[self._off_rescues : self._off_rescues + max_failed] = 0
-        self.cells[self._off_rescues : self._off_rescues + len(rescues)] = rescues
-        self.cells[self._off_status : self._off_status + self.cfg.n_ranks] = statuses
+        cells = self._cells_rw()
+        cells[0] = epoch
+        cells[1] = 1
+        cells[3] = len(failed)
+        cells[4] = len(rescues)
+        cells[self._off_failed : self._off_failed + max_failed] = 0
+        cells[self._off_failed : self._off_failed + len(failed)] = failed
+        cells[self._off_rescues : self._off_rescues + max_failed] = 0
+        cells[self._off_rescues : self._off_rescues + len(rescues)] = rescues
+        cells[self._off_status : self._off_status + self.cfg.n_ranks] = statuses
         if isinstance(rank_map, np.ndarray):
-            self.cells[self._off_map : self._off_map + len(rank_map)] = rank_map
+            cells[self._off_map : self._off_map + len(rank_map)] = rank_map
         else:
             for logical, phys in rank_map.items():
-                self.cells[self._off_map + logical] = phys
+                cells[self._off_map + logical] = phys
+        # the FD re-stages epoch content here before broadcasting it: drop
+        # any notice parsed from a stale read of this epoch's cells
+        cache = getattr(self.ctx.world, "_ft_notice_cache", None)
+        if cache is not None:
+            cache.pop(epoch, None)
 
     def mark_done_local(self) -> None:
-        self.cells[2] = 1
+        self._cells_rw()[2] = 1
 
     def broadcast(self, targets: List[int], queue_id: int = 0,
                   timeout: float = 1.0):

@@ -139,7 +139,9 @@ def fd_process(ctx: GaspiContext, cfg: FTConfig,
         block = ControlBlock(ctx, cfg)
         if not takeover:
             block.init_local()
-    statuses = block.statuses()
+    # the FD mutates its status view in place as deaths are observed, so
+    # it takes the writable (materialised) array, not the shared template
+    statuses = block.statuses_rw()
     if takeover:
         statuses[ctx.rank] = Role.FD
     pool = SparePool(statuses, ctx.rank)

@@ -32,6 +32,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.gaspi.groups import _Members
 from repro.ft.roles import Role
 
 MODES = ("vectorized", "scalar")
@@ -282,8 +283,15 @@ class VectorizedKernels:
     # ------------------------------------------------------------------
     @staticmethod
     def group_fill(group: "object", members: Sequence[int]) -> None:
-        """Populate a fresh group with ``members`` (batched)."""
-        group.add_many(members)  # type: ignore[attr-defined]
+        """Populate a fresh group with sorted ``members`` (flyweight).
+
+        Every rebuilding rank computes the same sorted member list, so
+        the membership is interned once per distinct list and *adopted*
+        — the group shares the tuple and its set instead of building a
+        private list/set per rank (the historical ``add_many`` path).
+        """
+        group.adopt_members(  # type: ignore[attr-defined]
+            _Members.intern(tuple(sorted(members))))
 
 
 class ScalarKernels:

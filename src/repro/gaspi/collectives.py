@@ -25,6 +25,7 @@ import numpy as np
 from repro.sim import Event, Simulator
 from repro.gaspi.constants import AllreduceOp
 from repro.gaspi.errors import GaspiUsageError
+from repro.gaspi.groups import _Members
 
 
 @dataclass
@@ -118,7 +119,13 @@ class CollectiveEngine:
         (in member order) into the shared result and every member's event
         fires ``cost`` seconds later.
         """
-        if rank not in members:
+        # interned memberships carry a shared set — O(1) instead of an
+        # O(p) tuple scan, which a timed-out commit retries p times
+        if isinstance(members, _Members):
+            if rank not in members.member_set():
+                raise GaspiUsageError(
+                    f"rank {rank} not a member of {group_identity}")
+        elif rank not in members:
             raise GaspiUsageError(f"rank {rank} not a member of {group_identity}")
         key = (kind, group_identity, seq)
         inst = self._instances.get(key)

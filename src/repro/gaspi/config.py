@@ -23,3 +23,9 @@ class GaspiConfig:
     #: virtual seconds of local CPU time charged per posted one-sided op
     #: (descriptor preparation); keeps million-op runs honest but cheap.
     post_overhead: float = 0.2e-6
+    #: force the historical eager construction path: every context
+    #: materialises its queue table, state vector, private ``group_all``
+    #: membership and segment buffers at build time instead of on first
+    #: touch.  Only useful as the reference side of equivalence tests —
+    #: virtual-time behaviour is identical either way.
+    eager_world: bool = False

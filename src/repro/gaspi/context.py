@@ -60,12 +60,21 @@ class GaspiContext:
         self.rank = rank
         self.segments = SegmentTable()
         self.state_vector = StateVector(world.n_ranks)
-        self._queues = [
-            Queue(i, world.config.queue_depth) for i in range(world.config.n_queues)
-        ]
-        self.group_all = Group(tag=-1)
-        self.group_all.add_many(range(world.n_ranks))
-        self.group_all.committed = True
+        #: queue table, built on first queue touch (most ranks of a large
+        #: world never post before their first wait/purge)
+        self._queues: Optional[List[Queue]] = None
+        self._n_queues = world.config.n_queues
+        #: flyweight: every context shares the world's interned all-ranks
+        #: membership; only the collective sequence number is private
+        self.group_all = Group.from_members(tag=-1, members=world.members_all)
+        if world.config.eager_world:
+            # reference construction path: materialise everything the
+            # flyweight scheme defers (equivalence-test baseline)
+            self.group_all = Group(tag=-1)
+            self.group_all.add_many(range(world.n_ranks))
+            self.group_all.committed = True
+            self._queue_table()
+            self.state_vector.snapshot()
 
     # ------------------------------------------------------------------
     # identity / environment
@@ -87,12 +96,24 @@ class GaspiContext:
 
     @property
     def n_queues(self) -> int:
-        return len(self._queues)
+        return self._n_queues
+
+    def _queue_table(self) -> List[Queue]:
+        queues = self._queues
+        if queues is None:
+            depth = self.world.config.queue_depth
+            queues = self._queues = [
+                Queue(i, depth) for i in range(self._n_queues)
+            ]
+        return queues
 
     def _queue(self, queue_id: int) -> Queue:
-        if not (0 <= queue_id < len(self._queues)):
-            raise GaspiUsageError(f"queue {queue_id} outside [0, {len(self._queues)})")
-        return self._queues[queue_id]
+        queues = self._queues
+        if queues is None:
+            queues = self._queue_table()
+        if not (0 <= queue_id < len(queues)):
+            raise GaspiUsageError(f"queue {queue_id} outside [0, {len(queues)})")
+        return queues[queue_id]
 
     def _remote(self, rank: int) -> "GaspiContext":
         if not (0 <= rank < self.world.n_ranks):
@@ -105,7 +126,31 @@ class GaspiContext:
     def segment_create(self, segment_id: int, size: int) -> Segment:
         """``gaspi_segment_create`` (registration is implicit here)."""
         return self.segments.create(
-            segment_id, size, self.world.config.n_notifications
+            segment_id, size, self.world.config.n_notifications,
+            eager=self.world.config.eager_world,
+        )
+
+    def segment_create_pooled(self, segment_id: int, size: int) -> Segment:
+        """Create a segment backed by the world's shared arena.
+
+        For per-rank data-plane windows of identical shape (checkpoint
+        mirror/replica staging): the backing bytes come from one pooled
+        allocation per ``(segment_id, size)`` across all ranks, grown in
+        a single pass on first touch, instead of one private buffer per
+        rank.  Semantics match :meth:`segment_create` exactly.
+        """
+        world = self.world
+        if world.config.eager_world:
+            return self.segment_create(segment_id, size)
+        arena = world.arena
+        n_slots = world.n_ranks
+        index = self.rank
+
+        def backing() -> np.ndarray:
+            return arena.slot(segment_id, size, n_slots, index)
+
+        return self.segments.create(
+            segment_id, size, world.config.n_notifications, backing=backing
         )
 
     def segment(self, segment_id: int) -> Segment:
@@ -413,17 +458,20 @@ class GaspiContext:
         The paper's threaded FD monitors pings "on different communication
         queues"; applications create extras the same way.
         """
-        if len(self._queues) >= 1024:
+        queues = self._queue_table()
+        if len(queues) >= 1024:
             raise GaspiUsageError("queue limit (1024) reached")
-        queue_id = len(self._queues)
-        self._queues.append(Queue(queue_id, self.world.config.queue_depth))
+        queue_id = len(queues)
+        queues.append(Queue(queue_id, self.world.config.queue_depth))
+        self._n_queues = len(queues)
         return queue_id
 
     def queue_delete(self, queue_id: int) -> None:
         """GPI-2 ``gaspi_queue_delete``: only the most recent queue, and
         only when it has no outstanding operations."""
         queue = self._queue(queue_id)
-        if queue_id != len(self._queues) - 1:
+        queues = self._queue_table()
+        if queue_id != len(queues) - 1:
             raise GaspiUsageError("only the last-created queue can be deleted")
         if queue_id < self.world.config.n_queues:
             raise GaspiUsageError("the initial queues cannot be deleted")
@@ -431,7 +479,8 @@ class GaspiContext:
             raise GaspiUsageError(
                 f"queue {queue_id} still has {queue.size} outstanding ops"
             )
-        self._queues.pop()
+        queues.pop()
+        self._n_queues = len(queues)
 
     # ------------------------------------------------------------------
     # notifications (consumer side)

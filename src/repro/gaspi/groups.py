@@ -17,7 +17,8 @@ vectorized rebuild path of ``repro.ft.recovery``).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import (Dict, FrozenSet, Iterable, List, Optional, Set, Tuple,
+                    Union, cast)
 
 from repro.gaspi.errors import GaspiUsageError
 
@@ -38,15 +39,29 @@ class _Members(tuple):
     """
 
     _hash: int
+    _set: Optional[FrozenSet[int]]
     _interned: Dict[Tuple[int, ...], "_Members"] = {}
 
     def __new__(cls, ranks: Iterable[int]) -> "_Members":
         self = super().__new__(cls, ranks)
         self._hash = tuple.__hash__(self)
+        self._set = None
         return self
 
     def __hash__(self) -> int:
         return self._hash
+
+    def member_set(self) -> FrozenSet[int]:
+        """The membership as a set, built once per interned instance.
+
+        Flyweight groups (:meth:`Group.from_members`) delegate their
+        O(1) containment checks here, so a world with 4096 contexts
+        holds one shared set instead of 4096 private copies.
+        """
+        cached = self._set
+        if cached is None:
+            cached = self._set = frozenset(self)
+        return cached
 
     @classmethod
     def intern(cls, ranks: Tuple[int, ...]) -> "_Members":
@@ -68,14 +83,58 @@ class Group:
 
     def __init__(self, tag: int = 0) -> None:
         self.tag = tag
-        self._members: List[int] = []
-        self._member_set: Set[int] = set()
+        self._members: Union[List[int], _Members] = []
+        self._member_set: Optional[Set[int]] = set()
         self._sorted: Optional[Tuple[int, ...]] = None
         self.committed = False
         #: per-rank collective sequence number on this group; incremented
         #: only on collective *success* so timed-out calls retry the same
         #: collective instance (GASPI's retry-with-same-parameters rule).
         self.coll_seq = 0
+
+    @classmethod
+    def from_members(cls, tag: int, members: _Members,
+                     committed: bool = True) -> "Group":
+        """Flyweight constructor over a pre-sorted interned membership.
+
+        The group *shares* the interned tuple and its lazily built
+        member set instead of materialising a private list/set — O(1)
+        per context where ``add_many(range(n))`` was O(n), which is what
+        lets a 4096-rank world build all its ``group_all`` instances
+        from a single membership object.  A later mutation (``add`` on a
+        deleted/uncommitted group) detaches via copy-on-write.
+        """
+        group = cls.__new__(cls)
+        group.tag = tag
+        group._members = members
+        group._member_set = None
+        group._sorted = members
+        group.committed = committed
+        group.coll_seq = 0
+        return group
+
+    def _own_members(self) -> Set[int]:
+        """Copy-on-write: detach from a shared interned membership."""
+        self._members = list(self._members)
+        self._member_set = set(self._members)
+        return self._member_set
+
+    def adopt_members(self, members: _Members) -> None:
+        """Fill an empty group by adopting a shared interned membership.
+
+        ``members`` must be in ascending rank order (the interned form
+        every producer of whole-group memberships emits).  The group
+        shares the tuple and its set, so a 2048-rank recovery's group
+        rebuild on every survivor is O(1) after the one interning pass
+        instead of O(n) per rank; mutation later detaches (COW).
+        """
+        if self.committed:
+            raise GaspiUsageError("cannot adopt members on a committed group")
+        if len(self._members):
+            raise GaspiUsageError("cannot adopt members on a non-empty group")
+        self._members = members
+        self._member_set = None
+        self._sorted = members
 
     # ------------------------------------------------------------------
     def add(self, rank: int) -> None:
@@ -84,10 +143,13 @@ class Group:
             raise GaspiUsageError("cannot add ranks to a committed group")
         if rank < 0:
             raise GaspiUsageError(f"invalid rank {rank}")
-        if rank in self._member_set:
+        member_set = self._member_set
+        if member_set is None:
+            member_set = self._own_members()
+        if rank in member_set:
             raise GaspiUsageError(f"rank {rank} already in group")
-        self._members.append(rank)
-        self._member_set.add(rank)
+        cast(List[int], self._members).append(rank)
+        member_set.add(rank)
         self._sorted = None
 
     def add_many(self, ranks: Iterable[int]) -> None:
@@ -113,11 +175,14 @@ class Group:
                 if r in seen:
                     raise GaspiUsageError(f"rank {r} already in group")
                 seen.add(r)
-        overlap = batch_set & self._member_set
+        member_set = self._member_set
+        if member_set is None:
+            member_set = self._own_members()
+        overlap = batch_set & member_set
         if overlap:
             raise GaspiUsageError(f"rank {min(overlap)} already in group")
-        self._members.extend(batch)
-        self._member_set |= batch_set
+        cast(List[int], self._members).extend(batch)
+        member_set |= batch_set
         self._sorted = None
 
     @property
@@ -137,7 +202,10 @@ class Group:
         return len(self._members)
 
     def __contains__(self, rank: int) -> bool:
-        return rank in self._member_set
+        member_set = self._member_set
+        if member_set is None:
+            return rank in cast(_Members, self._members).member_set()
+        return rank in member_set
 
     def identity(self) -> Tuple:
         """Cross-rank identity used to match collective instances."""

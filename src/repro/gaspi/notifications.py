@@ -9,7 +9,7 @@ the paper's spMVM library uses to learn its halo values have landed.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -18,20 +18,34 @@ from repro.gaspi.errors import GaspiUsageError
 
 
 class NotificationBoard:
-    """Notification slots of one segment plus their waiters."""
+    """Notification slots of one segment plus their waiters.
 
-    __slots__ = ("values", "_waiters")
+    The slot array is built on the first post/consume — a board that is
+    registered but never notified (most segments of a large world) costs
+    one small object, not ``n_slots`` zeroed ``uint64`` cells.
+    """
+
+    __slots__ = ("_n_slots", "_values", "_waiters")
 
     def __init__(self, n_slots: int) -> None:
         if n_slots <= 0:
             raise GaspiUsageError("need at least one notification slot")
-        self.values = np.zeros(n_slots, dtype=np.uint64)
+        self._n_slots = int(n_slots)
+        self._values: Optional[np.ndarray] = None
         # (first, num, event) — fired with the lowest pending slot id in range
         self._waiters: List[Tuple[int, int, Event]] = []
 
     @property
+    def values(self) -> np.ndarray:
+        """The slot array, allocated on first touch."""
+        values = self._values
+        if values is None:
+            values = self._values = np.zeros(self._n_slots, dtype=np.uint64)
+        return values
+
+    @property
     def n_slots(self) -> int:
-        return len(self.values)
+        return self._n_slots
 
     def check_id(self, notification_id: int) -> None:
         if not (0 <= notification_id < self.n_slots):

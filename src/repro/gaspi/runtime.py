@@ -18,12 +18,22 @@ from repro.cluster.transport import Transport
 from repro.gaspi.collectives import CollectiveEngine
 from repro.gaspi.config import GaspiConfig
 from repro.gaspi.context import GaspiContext
+from repro.gaspi.groups import _Members
+from repro.gaspi.segments import SegmentArena
 
 MainFn = Callable[[GaspiContext], Generator]
 
 
 class GaspiWorld:
-    """Everything shared by the ranks of one GASPI job."""
+    """Everything shared by the ranks of one GASPI job.
+
+    Construction is flyweight: the all-ranks membership is interned
+    *once* here and shared by every context's ``group_all`` (contexts
+    keep private collective sequence numbers, only the membership tuple
+    and its set are shared), and :attr:`arena` pools the backing buffers
+    of same-shaped per-rank segments so building 4096 contexts performs
+    O(world) allocations, not O(ranks).
+    """
 
     def __init__(
         self,
@@ -35,6 +45,10 @@ class GaspiWorld:
         self.machine = machine
         self.config = config or GaspiConfig()
         self.engine = CollectiveEngine(sim, self.config.collective_costs)
+        #: the interned all-ranks membership every ``group_all`` shares
+        self.members_all = _Members.intern(tuple(range(machine.n_ranks)))
+        #: pooled backing store for per-rank data-plane segments
+        self.arena = SegmentArena()
         self.contexts: Dict[int, GaspiContext] = {}
         for rank in range(machine.n_ranks):
             self.contexts[rank] = GaspiContext(self, rank)

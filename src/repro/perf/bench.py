@@ -75,11 +75,20 @@ LOWER_IS_BETTER = {
     "group_rebuild_us_per_rank",
     "ckpt_mirror_us_per_rank",
     "ckpt_replicated_restore_us_per_rank",
+    "world_build_s",
+    "world_peak_mb",
 }
 
 #: ``--check`` fails when a metric regresses more than this fraction
 #: against the committed ``current`` values (CI smoke guard)
 REGRESSION_TOLERANCE = 0.30
+
+#: absolute slack added to the ``--world-build`` gate limit: the
+#: flyweight build is single-digit milliseconds, so a purely relative
+#: tolerance would flap on scheduler noise; the gate exists to catch a
+#: reintroduced O(ranks) construction path (hundreds of ms at 2048
+#: ranks), which this slack cannot mask
+WORLD_BUILD_ABS_SLACK_S = 0.05
 
 
 def _best(fn: Callable[[], float], repeats: int) -> float:
@@ -378,17 +387,19 @@ def bench_figure4(scale: str, jobs: int = 1) -> float:
     return dt
 
 
-def bench_sweep_scaling() -> float:
+def bench_sweep_scaling() -> Optional[float]:
     """Parallel-over-serial speedup of the tiny Figure-4 sweep.
 
     Runs the same seven-scenario suite serially and with one worker per
-    core (capped at 4).  ~1.0 on a single-core box — the serial fallback
-    and pool overhead are what is being guarded there, not scaling.
+    core (capped at 4).  On a single-core box there is nothing to
+    measure — parallel == serial by construction — so the metric is
+    reported as ``None`` (null in the JSON) rather than a meaningless
+    1.0 that would pollute speedup ratios across machines.
     """
     jobs = min(4, os.cpu_count() or 1)
-    serial = min(bench_figure4("tiny", jobs=1) for _ in range(2))
     if jobs <= 1:
-        return 1.0
+        return None
+    serial = min(bench_figure4("tiny", jobs=1) for _ in range(2))
     parallel = min(bench_figure4("tiny", jobs=jobs) for _ in range(2))
     return serial / parallel
 
@@ -396,11 +407,17 @@ def bench_sweep_scaling() -> float:
 # ----------------------------------------------------------------------
 # harness
 # ----------------------------------------------------------------------
-def run_benches(quick: bool = False, repeats: int = 5) -> Dict[str, float]:
-    """Run the suite; returns ``{metric: value}`` (see naming convention)."""
+def run_benches(quick: bool = False,
+                repeats: int = 5) -> Dict[str, Optional[float]]:
+    """Run the suite; returns ``{metric: value}`` (see naming convention).
+
+    A value of ``None`` means the metric could not be measured on this
+    machine (currently only ``sweep_parallel_speedup`` on 1-core boxes);
+    it is recorded as null and excluded from speedup/regression math.
+    """
     if quick:
         repeats = max(2, repeats // 2)
-    metrics: Dict[str, float] = {}
+    metrics: Dict[str, Optional[float]] = {}
     metrics["des_event_throughput_eps"] = _best(bench_event_pending, repeats)
     metrics["event_chain_eps"] = _best(bench_event_chain, repeats)
     metrics["process_switch_eps"] = _best(bench_process_switch, repeats)
@@ -422,7 +439,8 @@ def run_benches(quick: bool = False, repeats: int = 5) -> Dict[str, float]:
     if not quick:
         metrics["figure4_small_wall_s"] = min(bench_figure4("small")
                                               for _ in range(2))
-    return {k: round(v, 3) for k, v in metrics.items()}
+    return {k: round(v, 3) if v is not None else None
+            for k, v in metrics.items()}
 
 
 def _speedup(seed: Dict[str, float], cur: Dict[str, float]) -> Dict[str, float]:
@@ -493,8 +511,9 @@ def _delta_table(report: Dict, effective: Dict[str, float]) -> str:
             target_s = f"<={TARGET_CEILING[key]:g}"
         else:
             target_s = "-"
-        lines.append(f"{key:<28} {effective[key]:>14,.3f} "
-                     f"{ratio_s:>9} {target_s:>9}")
+        value = effective[key]
+        value_s = f"{value:>14,.3f}" if value is not None else f"{'null':>14}"
+        lines.append(f"{key:<28} {value_s} {ratio_s:>9} {target_s:>9}")
     return "\n".join(lines)
 
 
@@ -525,6 +544,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         metavar="N",
                         help="override the weak-scaling rank ladder "
                              "(default: 16 64 256 1024 2048 4096)")
+    parser.add_argument("--world-build", type=int, default=None, metavar="N",
+                        help="construction-only probe: build the N-rank "
+                             "world once, print world_build_s and "
+                             "world_peak_mb; with --check, fail if "
+                             "world_build_s regresses more than "
+                             f"{REGRESSION_TOLERANCE:.0%} vs the committed "
+                             "scaling table (CI wall-capped step)")
     parser.add_argument("--smoke", action="store_true",
                         help="CI weak-scaling smoke: one traced scenario "
                              "under a wall cap with clean trace "
@@ -549,6 +575,36 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     report = load_report(args.out)
     committed = _strip_env(report.get("current"))
+
+    if args.world_build is not None:
+        from repro.perf.scaling import bench_world_build
+
+        n = args.world_build
+        probe = bench_world_build(n)
+        build_s = probe["world_build_s"]
+        peak_mb = probe["world_peak_mb"]
+        print(f"# world construction, {n} ranks")
+        print(f"world_build_s   {build_s:>10.4f}")
+        print(f"world_peak_mb   {peak_mb:>10.3f}")
+        if args.check:
+            table = (report.get("scaling", {}).get("current", {})
+                     .get("world_build_s", {}))
+            baseline = table.get(str(n)) if isinstance(table, dict) else None
+            if baseline is None:
+                print(f"FAIL: no committed world_build_s baseline for "
+                      f"{n} ranks in {args.out} — run "
+                      "'python -m repro bench --scaling' to record one")
+                return 1
+            limit = (baseline * (1.0 + REGRESSION_TOLERANCE)
+                     + WORLD_BUILD_ABS_SLACK_S)
+            if build_s > limit:
+                print(f"FAIL: world_build_s {build_s:.4f}s regresses "
+                      f">{REGRESSION_TOLERANCE:.0%} vs committed "
+                      f"{baseline:.4f}s (limit {limit:.4f}s)")
+                return 1
+            print(f"OK — within {REGRESSION_TOLERANCE:.0%} of committed "
+                  f"{baseline:.4f}s")
+        return 0
 
     if args.scaling:
         from repro.perf.scaling import RANKS_LADDER, run_scaling, \
@@ -590,6 +646,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     section = "seed" if args.record_seed else "current"
     print(f"# {section} -> {args.out}")
     for key, value in metrics.items():
+        if value is None:
+            print(f"{key:<{width}}  {'null (not measurable here)':>14}")
+            continue
         line = f"{key:<{width}}  {value:>14,.3f}"
         ratio = report.get("speedup", {}).get(key)
         if ratio is not None and not args.record_seed:
@@ -612,12 +671,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"FAIL: speedup targets missed: {missed}")
                 failed = True
         below = {k: effective[k] for k, floor in TARGET_FLOOR.items()
-                 if k in effective and effective[k] < floor}
+                 if effective.get(k) is not None and effective[k] < floor}
         if below:
             print(f"FAIL: floors not met (targets {TARGET_FLOOR}): {below}")
             failed = True
         above = {k: effective[k] for k, ceiling in TARGET_CEILING.items()
-                 if k in effective and effective[k] > ceiling}
+                 if effective.get(k) is not None and effective[k] > ceiling}
         if above:
             print(f"FAIL: ceilings exceeded (targets {TARGET_CEILING}): "
                   f"{above}")

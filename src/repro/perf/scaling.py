@@ -50,13 +50,6 @@ from typing import Dict, List, Optional, Sequence
 #: the weak-scaling rank ladder (workers; each rung adds n_spares + FD)
 RANKS_LADDER = (16, 64, 256, 1024, 2048, 4096)
 
-#: the per-rank kernel benches stop here: above it, simply *constructing*
-#: the bench worlds (per-context group membership, per-rank mirror
-#: segments) is memory-bound and the measurement would time world setup,
-#: not the kernels.  The end-to-end scenario ladder still attempts every
-#: rung, so 2048/4096 coverage comes from there.
-KERNEL_RANKS_CAP = 1024
-
 #: reference scale for the per-rank kernel metrics (the paper's node count)
 REFERENCE_RANKS = 256
 
@@ -345,6 +338,63 @@ def bench_ckpt_replicated_restore_us_per_rank(
 
 
 # ----------------------------------------------------------------------
+# kernel bench 5: world construction
+# ----------------------------------------------------------------------
+def bench_world_build(workers: int, mode: str = "vectorized",
+                      repeats: int = 3) -> Dict[str, float]:
+    """Construction-only probe: build one scenario rung's world, untouched.
+
+    Returns ``{"world_build_s": ..., "world_peak_mb": ...}`` for the
+    exact machine + GASPI world the ``weak-<workers>`` scenario runs on
+    (workers + spares + FD ranks, one per node), without running it.
+    The wall time is the best of ``repeats`` clean passes (the flyweight
+    build is a few milliseconds, so a single pass would be mostly
+    scheduler noise); the allocation peak comes from one more
+    construction under ``tracemalloc`` (the tracer multiplies allocation
+    cost, so timing a traced build would measure tracemalloc, not the
+    flyweight construction path).
+    """
+    import tracemalloc
+
+    from repro.experiments.common import ft_config_for, machine_for
+    from repro.cluster import Machine
+    from repro.ft import rankstate
+    from repro.gaspi.runtime import GaspiWorld
+    from repro.sim import Simulator
+    from repro.workloads.spec import scaled_spec
+
+    spec = scaled_spec(workers=workers, iterations=ITERATIONS,
+                       name=f"weak-{workers}")
+    cfg = ft_config_for(spec, n_spares=N_SPARES)
+    machine_spec = machine_for(cfg)
+
+    def build() -> GaspiWorld:
+        sim = Simulator()
+        return GaspiWorld(sim, Machine(sim, machine_spec))
+
+    with rankstate.use(mode):
+        build_s = float("inf")
+        for _ in range(max(1, repeats)):
+            gc.collect()
+            t0 = time.perf_counter()
+            world = build()
+            build_s = min(build_s, time.perf_counter() - t0)
+            assert world.n_ranks == cfg.n_ranks
+            del world
+        gc.collect()
+        tracemalloc.start()
+        try:
+            build()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+    return {
+        "world_build_s": round(build_s, 4),
+        "world_peak_mb": round(peak / (1 << 20), 3),
+    }
+
+
+# ----------------------------------------------------------------------
 # end-to-end ladder: fixed per-rank workload, one failure per rung
 # ----------------------------------------------------------------------
 def scenario_wall_s(workers: int, mode: str = "vectorized") -> float:
@@ -381,18 +431,19 @@ def run_scaling(mode: str = "vectorized",
     rebuild: Dict[str, float] = {}
     ckpt_mirror: Dict[str, float] = {}
     ckpt_replicated: Dict[str, float] = {}
+    world_build: Dict[str, float] = {}
+    world_peak: Dict[str, float] = {}
     walls: Dict[str, float] = {}
     skipped: List[str] = []
     ranks_max = 0
 
+    # flyweight world construction (shared group membership, pooled
+    # segments, lazy boards) keeps even the 4096-rank bench worlds cheap,
+    # so the kernel benches run at every rung of the ladder
     for n in ladder:
-        if n > KERNEL_RANKS_CAP:
-            skipped.append(
-                f"kernel benches at {n} ranks: skipped (world construction "
-                f"is memory-bound above {KERNEL_RANKS_CAP} ranks and would "
-                f"dominate the measurement; the scenario ladder still "
-                f"attempts this rung)")
-            continue
+        build = bench_world_build(n, mode)
+        world_build[str(n)] = build["world_build_s"]
+        world_peak[str(n)] = build["world_peak_mb"]
         fd_scan[str(n)] = round(bench_fd_scan_us_per_rank(n, mode), 3)
         rebuild[str(n)] = round(
             bench_group_rebuild_us_per_rank(n, mode), 3)
@@ -426,6 +477,8 @@ def run_scaling(mode: str = "vectorized",
         "mode": mode,
         "ranks": ladder,
         "wall_cap_s": wall_cap_s,
+        "world_build_s": world_build,
+        "world_peak_mb": world_peak,
         "fd_scan_us_per_rank": fd_scan,
         "group_rebuild_us_per_rank": rebuild,
         "ckpt_mirror_us_per_rank": ckpt_mirror,
@@ -464,6 +517,12 @@ def summary_metrics(scaling: Dict[str, object]) -> Dict[str, float]:
     if ckpt_replicated:
         out["ckpt_replicated_restore_us_per_rank"] = at_reference(
             ckpt_replicated)
+    # construction metrics are reported at the ladder *top* — the rung
+    # the flyweight world-build work exists for, not the reference scale
+    for key in ("world_build_s", "world_peak_mb"):
+        table = scaling.get(key, {})
+        if isinstance(table, dict) and table:
+            out[key] = table[max(table, key=int)]
     if scaling.get("scenario_wall_s"):
         out["ranks_max_at_60s"] = float(scaling["ranks_max_at_60s"])
     return out

@@ -25,6 +25,10 @@ def test_run_scaling_structure_without_scenarios():
     assert set(out["fd_scan_us_per_rank"]) == {"8", "16"}
     assert set(out["group_rebuild_us_per_rank"]) == {"8", "16"}
     assert set(out["ckpt_mirror_us_per_rank"]) == {"8", "16"}
+    # construction metrics are measured at every rung — the kernel loop
+    # no longer skips large rungs behind a memory-bound cap
+    assert set(out["world_build_s"]) == {"8", "16"}
+    assert set(out["world_peak_mb"]) == {"8", "16"}
     assert out["scenario_wall_s"] == {}
     assert out["ranks_max_at_60s"] == 0
     assert out["skipped"] == []
@@ -38,11 +42,16 @@ def test_summary_metrics_pick_reference_or_largest():
         "ckpt_mirror_us_per_rank": {"16": 40.0, "256": 20.0},
         "scenario_wall_s": {"16": 0.1},
         "ranks_max_at_60s": 64,
+        "world_build_s": {"16": 0.001, "1024": 0.03},
+        "world_peak_mb": {"16": 0.02, "1024": 1.2},
     })
     assert out["fd_scan_us_per_rank"] == 2.0      # the 256-rank reference
     assert out["group_rebuild_us_per_rank"] == 6.0  # largest measured rung
     assert out["ckpt_mirror_us_per_rank"] == 20.0  # the 256-rank reference
     assert out["ranks_max_at_60s"] == 64.0
+    # construction metrics surface at the ladder *top*, not the reference
+    assert out["world_build_s"] == 0.03
+    assert out["world_peak_mb"] == 1.2
 
 
 def test_scaling_metrics_are_tracked_lower_is_better():
@@ -51,11 +60,21 @@ def test_scaling_metrics_are_tracked_lower_is_better():
         assert TARGET_SPEEDUP[key] == 5.0
     assert "ckpt_mirror_us_per_rank" in LOWER_IS_BETTER
     assert TARGET_SPEEDUP["ckpt_mirror_us_per_rank"] == 4.0
+    assert "world_build_s" in LOWER_IS_BETTER
+    assert "world_peak_mb" in LOWER_IS_BETTER
     assert TARGET_FLOOR["ranks_max_at_60s"] == 1024
     # the inversion: a drop from 4 us to 1 us must read as a 4x speedup
     ratios = _speedup({"fd_scan_us_per_rank": 4.0},
                       {"fd_scan_us_per_rank": 1.0})
     assert ratios["fd_scan_us_per_rank"] == 4.0
+
+
+def test_sweep_parallel_speedup_null_on_single_core(monkeypatch):
+    """1-core boxes report null, not a meaningless 1.0 baseline."""
+    from repro.perf import bench
+
+    monkeypatch.setattr(bench.os, "cpu_count", lambda: 1)
+    assert bench.bench_sweep_scaling() is None
 
 
 def test_scenario_ladder_runs_a_recovery_at_small_scale():
