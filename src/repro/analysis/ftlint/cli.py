@@ -4,8 +4,11 @@
 
     python tools/ftlint.py src tests                  # default: fail on new
     python tools/ftlint.py src --format json          # machine-readable
+    python tools/ftlint.py src --format sarif         # code-scanning upload
     python tools/ftlint.py src --fail-on any          # ignore the baseline
     python tools/ftlint.py src tests --write-baseline # regenerate baseline
+    python tools/ftlint.py --write-manifest           # capability manifest
+    python tools/ftlint.py --check-manifest           # FT011 drift gate
     python tools/ftlint.py --list-rules
 
 Exit status: 0 clean, 1 findings per ``--fail-on`` policy, 2 bad usage.
@@ -20,12 +23,17 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.ftlint import rules as _rules  # noqa: F401  (registers)
+from repro.analysis.ftlint import flowrules as _flowrules  # noqa: F401
+from repro.analysis.ftlint import manifest as _manifest  # noqa: F401
 from repro.analysis.ftlint.baseline import (
     Baseline, load_baseline, split_by_baseline, write_baseline,
 )
 from repro.analysis.ftlint.core import all_rules, analyze_paths
+from repro.analysis.ftlint.manifest import (
+    check_manifest, write_manifest,
+)
 from repro.analysis.ftlint.reporters import (
-    render_human, render_json, render_rule_list,
+    render_human, render_json, render_rule_list, render_sarif,
 )
 
 DEFAULT_BASELINE = ".ftlint-baseline.json"
@@ -36,13 +44,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="ftlint",
         description=(
             "protocol- and determinism-aware static analysis for the "
-            "GASPI fault-tolerance reproduction (rules FT001-FT006; "
+            "GASPI fault-tolerance reproduction (rules FT001-FT011; "
             "see ANALYSIS.md)"
         ),
     )
     parser.add_argument("paths", nargs="*",
                         help="files or directories to analyze")
-    parser.add_argument("--format", choices=("human", "json"),
+    parser.add_argument("--format", choices=("human", "json", "sarif"),
                         default="human", help="report format")
     parser.add_argument("--baseline", default=None, metavar="PATH",
                         help=f"baseline file (default: {DEFAULT_BASELINE} "
@@ -63,6 +71,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also list baselined findings (human format)")
     parser.add_argument("--list-rules", action="store_true",
                         help="describe the registered rules and exit")
+    parser.add_argument("--write-manifest", action="store_true",
+                        help="regenerate capability_manifest.json from the "
+                             "tree and exit")
+    parser.add_argument("--check-manifest", action="store_true",
+                        help="fail if capability_manifest.json drifted from "
+                             "the tree (FT011's CI gate)")
+    parser.add_argument("--root", default=".", metavar="DIR",
+                        help="repository root for the capability manifest "
+                             "(default: .)")
     return parser
 
 
@@ -97,6 +114,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.list_rules:
         print(render_rule_list())
+        return 0
+    if args.write_manifest:
+        target = write_manifest(Path(args.root))
+        print(f"ftlint: wrote {target}")
+        return 0
+    if args.check_manifest:
+        drift = check_manifest(Path(args.root))
+        for line in drift:
+            print(f"ftlint: manifest drift: {line}", file=sys.stderr)
+        if drift:
+            print("ftlint: capability_manifest.json is out of date — run "
+                  "ftlint --write-manifest and commit the diff",
+                  file=sys.stderr)
+            return 1
+        print("ftlint: capability manifest is current")
         return 0
     if not args.paths:
         parser.print_usage(sys.stderr)
@@ -142,6 +174,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.format == "json":
         print(render_json(new, baselined, stale, result.n_files))
+    elif args.format == "sarif":
+        print(render_sarif(new, baselined))
     else:
         print(render_human(new, baselined, stale, result.n_files,
                            show_baselined=args.show_baselined))

@@ -20,7 +20,9 @@ the report; ``disable=all`` mutes every rule for the line/file.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
@@ -63,6 +65,9 @@ class Suppression:
     rules: Set[str]
     file_wide: bool
     reason: Optional[str]
+    #: set by :meth:`FileContext.is_suppressed` when the pragma actually
+    #: mutes a finding — the stale-pragma pass reports the ones left False
+    used: bool = False
 
 
 class FileContext:
@@ -118,9 +123,25 @@ class FileContext:
     # ------------------------------------------------------------------
     # suppressions
     # ------------------------------------------------------------------
+    def _comment_lines(self) -> List[tuple]:
+        """``(lineno, text)`` of real COMMENT tokens — a pragma quoted
+        inside a docstring or string literal is documentation, not a
+        suppression."""
+        comments: List[tuple] = []
+        reader = io.StringIO(self.source).readline
+        try:
+            for token in tokenize.generate_tokens(reader):
+                if token.type == tokenize.COMMENT:
+                    comments.append((token.start[0], token.string))
+        except (tokenize.TokenError, IndentationError):
+            # the file parsed (FileContext exists), so this is at most a
+            # truncated trailer; keep whatever was tokenized
+            pass
+        return comments
+
     def _parse_suppressions(self) -> List[Suppression]:
         found: List[Suppression] = []
-        for lineno, text in enumerate(self.lines, start=1):
+        for lineno, text in self._comment_lines():
             match = _PRAGMA.search(text)
             if match is None:
                 continue
@@ -140,14 +161,39 @@ class FileContext:
         return found
 
     def is_suppressed(self, rule: str, span: tuple) -> bool:
-        """Is ``rule`` muted on any line of ``span`` (or file-wide)?"""
+        """Is ``rule`` muted on any line of ``span`` (or file-wide)?
+
+        Every pragma that matches is marked ``used`` so the stale-pragma
+        pass only reports suppressions that muted nothing.
+        """
         first, last = span
+        hit = False
         for sup in self.suppressions:
             if ALL_RULES not in sup.rules and rule not in sup.rules:
                 continue
             if sup.file_wide or first <= sup.line <= last:
-                return True
-        return False
+                sup.used = True
+                hit = True
+        return hit
+
+    def stale_pragmas(self, judged_rules: Set[str]) -> List[Suppression]:
+        """Unused pragmas whose verdict this run is qualified to give.
+
+        A pragma naming rules outside ``judged_rules`` (e.g. under
+        ``--select``) is skipped — the muted rule simply did not run;
+        ``disable=all`` pragmas are judged only by a full-registry run.
+        """
+        stale: List[Suppression] = []
+        for sup in self.suppressions:
+            if sup.used:
+                continue
+            if ALL_RULES in sup.rules:
+                if {rule.id for rule in all_rules()} - judged_rules:
+                    continue
+            elif sup.rules - judged_rules:
+                continue
+            stale.append(sup)
+        return stale
 
     # ------------------------------------------------------------------
     def snippet_at(self, lineno: int) -> str:
@@ -251,12 +297,27 @@ def analyze_file(
             snippet="",
         )]
     findings: List[Finding] = []
-    for rule in (rules if rules is not None else all_rules()):
+    active = list(rules) if rules is not None else all_rules()
+    for rule in active:
         for finding in rule.run(ctx):
             span = finding.span if finding.span != (0, 0) \
                 else (finding.line, finding.line)
             if not ctx.is_suppressed(finding.rule, span):
                 findings.append(finding)
+    for sup in ctx.stale_pragmas({rule.id for rule in active}):
+        what = ", ".join(sorted(sup.rules))
+        scope = "disable-file" if sup.file_wide else "disable"
+        findings.append(Finding(
+            rule="PRAGMA",
+            path=display,
+            line=sup.line,
+            col=0,
+            symbol="<pragma>",
+            message=f"stale suppression '# ftlint: {scope}={what}' — it "
+                    f"mutes nothing; remove it",
+            snippet=ctx.snippet_at(sup.line),
+            span=(sup.line, sup.line),
+        ))
     return findings
 
 

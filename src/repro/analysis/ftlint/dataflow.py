@@ -1,0 +1,80 @@
+"""Forward may-analysis over the :mod:`~repro.analysis.ftlint.cfg` graphs.
+
+The protocol rules are all *obligation* analyses: a call site creates a
+fact ("notification posted", "group created uncommitted", "segment
+deleted"), later calls discharge or transform it, and a fact still live
+where it should not be — at function exit, or at a use site — is a
+finding.  Because the obligations are "on some path" properties, the
+join is set union and the fixpoint is a plain worklist iteration; facts
+are keyed by their origin block, so the lattice is finite and the
+iteration terminates.
+
+:class:`Fact` is deliberately tiny: ``kind`` names the obligation,
+``key`` is the rule's matching handle (a variable name, a segment-id
+expression, ...), ``origin`` is the block index whose statement created
+it (where the finding is reported), and ``data`` carries anything else
+the rule wants to show in the message.
+"""
+
+from __future__ import annotations
+
+from typing import (Callable, Dict, FrozenSet, List, NamedTuple, Tuple)
+
+from repro.analysis.ftlint.cfg import CFG
+
+__all__ = ["Fact", "State", "run_forward", "facts_at_exit"]
+
+
+class Fact(NamedTuple):
+    """One live obligation on some path."""
+
+    kind: str
+    key: str
+    origin: int          # block index that created the fact
+    data: Tuple = ()
+
+
+State = FrozenSet[Fact]
+
+#: a transfer function maps (block, incoming state) -> outgoing state;
+#: it may also record findings through whatever closure it carries
+Transfer = Callable[[int, State], State]
+
+
+def run_forward(cfg: CFG, transfer: Transfer,
+                max_iterations: int = 10000) -> Dict[int, State]:
+    """Worklist fixpoint; returns the *incoming* state of every block.
+
+    ``transfer(block_idx, state)`` is applied to the union of the
+    predecessors' outgoing states.  The bound only guards against a
+    buggy, non-monotone transfer — real rule lattices converge in a
+    handful of sweeps.
+    """
+    empty: State = frozenset()
+    in_states: Dict[int, State] = {cfg.entry.idx: empty}
+    out_states: Dict[int, State] = {}
+    worklist: List[int] = [cfg.entry.idx]
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > max_iterations:  # pragma: no cover - safety net
+            break
+        idx = worklist.pop()
+        state = in_states.get(idx, empty)
+        new_out = transfer(idx, state)
+        if out_states.get(idx) == new_out:
+            continue
+        out_states[idx] = new_out
+        for succ in cfg.blocks[idx].succs:
+            merged = in_states.get(succ, empty) | new_out
+            if merged != in_states.get(succ):
+                in_states[succ] = merged
+                worklist.append(succ)
+            elif succ not in out_states:
+                worklist.append(succ)
+    return in_states
+
+
+def facts_at_exit(cfg: CFG, in_states: Dict[int, State]) -> State:
+    """The obligations live on *some* path reaching the exit block."""
+    return in_states.get(cfg.exit.idx, frozenset())

@@ -89,6 +89,90 @@ def render_json(
     return json.dumps(payload, indent=2, sort_keys=False)
 
 
+def render_sarif(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+) -> str:
+    """SARIF 2.1.0 — one run, one result per finding, so CI can upload
+    the report and surface findings as code-scanning annotations.
+
+    Baselined findings are carried with ``baselineState: unchanged`` and
+    suppressed level so only *new* findings annotate a pull request;
+    ``partialFingerprints`` reuses the baseline fingerprint, letting the
+    scanning backend track a finding across commits exactly as the
+    local baseline file does.
+    """
+    rule_meta = {rule.id: rule for rule in all_rules()}
+    rule_ids = sorted(
+        {f.rule for f in new} | {f.rule for f in baselined} | set(rule_meta)
+    )
+
+    def rule_entry(rule_id: str) -> dict:
+        rule = rule_meta.get(rule_id)
+        entry: dict = {"id": rule_id}
+        if rule is not None:
+            entry["shortDescription"] = {"text": rule.title}
+            entry["fullDescription"] = {"text": rule.rationale}
+        elif rule_id == "PARSE":
+            entry["shortDescription"] = {"text": "file does not parse"}
+        elif rule_id == "PRAGMA":
+            entry["shortDescription"] = {
+                "text": "stale ftlint suppression pragma"}
+        return entry
+
+    index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+
+    def result(finding: Finding, status: str) -> dict:
+        payload: dict = {
+            "ruleId": finding.rule,
+            "ruleIndex": index[finding.rule],
+            "level": "error" if status == "new" else "note",
+            "message": {"text": f"[{finding.symbol}] {finding.message}"},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                        **({"snippet": {"text": finding.snippet}}
+                           if finding.snippet else {}),
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "ftlintFingerprint/v1": fingerprint(finding),
+            },
+        }
+        if status == "baselined":
+            payload["baselineState"] = "unchanged"
+            payload["suppressions"] = [{"kind": "external",
+                                        "justification": "ftlint baseline"}]
+        return payload
+
+    document = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                    "master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "ftlint",
+                    "rules": [rule_entry(rule_id) for rule_id in rule_ids],
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///./"}},
+            "results": (
+                [result(f, "new") for f in new]
+                + [result(f, "baselined") for f in baselined]
+            ),
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
 def render_rule_list(selected: Optional[Sequence[str]] = None) -> str:
     """``--list-rules`` output."""
     lines = []

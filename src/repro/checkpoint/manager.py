@@ -162,7 +162,7 @@ class CheckpointLib:
             ctx.segment_create_pooled(self.config.mirror_segment,
                                       self.config.mirror_window)
         self._mirror_queue = ctx.queue_create()
-        self._mirror_queue_obj = ctx._queue(self._mirror_queue)
+        self._mirror_queue_obj = ctx.queue(self._mirror_queue)
         self._mirror_seg_size = ctx.segment(self.config.mirror_segment).size
         self._jobs = Channel(name=f"ckpt-jobs-{ctx.rank}")
         self._helper = ctx.world.launch(

@@ -193,7 +193,7 @@ class ReplicatedCheckpointLib:
             ctx.segment_create_pooled(self.config.replica_segment,
                                       self.config.mirror_window)
         self._scatter_queue = ctx.queue_create()
-        self._scatter_queue_obj = ctx._queue(self._scatter_queue)
+        self._scatter_queue_obj = ctx.queue(self._scatter_queue)
         self._fetch_queue = ctx.queue_create()
         self._replica_seg_size = ctx.segment(self.config.replica_segment).size
         #: round-scatter FIFO bookkeeping (the manager's per-lib queue)

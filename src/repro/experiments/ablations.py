@@ -285,7 +285,7 @@ def run_group_commit_scaling(sizes: Sequence[int] = (8, 16, 32, 64, 128, 256),
 
 
 # ----------------------------------------------------------------------
-def main(argv=None) -> str:
+def main(argv: Optional[Sequence[str]] = None) -> str:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--which",
                         choices=["all", "fd", "interval", "destination",

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster import FaultPlan, MachineSpec, TransportParams
 from repro.checkpoint.manager import CheckpointConfig, CheckpointManager
 from repro.checkpoint.pfs import ParallelFileSystem
+from repro.gaspi.config import GaspiConfig
 from repro.ft import FTConfig
 from repro.ft.app import FTRunResult, run_ft_application
 from repro.workloads.kernels import ModelLanczosProgram
@@ -15,7 +16,7 @@ from repro.workloads.spec import WorkloadSpec
 
 
 def ft_config_for(spec: WorkloadSpec, n_spares: int = 4,
-                  fd_threads: int = 1, **overrides) -> FTConfig:
+                  fd_threads: int = 1, **overrides: Any) -> FTConfig:
     """The paper's FT configuration around a workload spec."""
     params = dict(
         n_workers=spec.n_workers,
@@ -127,8 +128,8 @@ def run_ft_scenario(
     n_spares: int = 4,
     fd_threads: int = 1,
     until: Optional[float] = None,
-    gaspi_config=None,
-    **cfg_overrides,
+    gaspi_config: Optional[GaspiConfig] = None,
+    **cfg_overrides: Any,
 ) -> ScenarioOutcome:
     """Run the model kernel under the FT stack with optional kills.
 

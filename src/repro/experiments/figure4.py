@@ -288,7 +288,7 @@ HEADERS = ["scenario", "runtime[s]", "computation[s]", "redo-work[s]",
            "re-init[s]", "detection[s]", "recoveries"]
 
 
-def main(argv=None) -> str:
+def main(argv: Optional[Sequence[str]] = None) -> str:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=["paper", "small", "tiny"],
                         default="small")

@@ -271,7 +271,7 @@ def backend_as_rows(rows: List[BackendRow]) -> List[List]:
              r.total] for r in rows]
 
 
-def main(argv=None) -> str:
+def main(argv: Optional[Sequence[str]] = None) -> str:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sizes", type=int, nargs="+",
                         default=[8, 16, 32, 64, 128, 256])

@@ -139,7 +139,7 @@ def as_rows(rows: List[Table1Row]) -> List[List]:
              r.n_runs] for r in rows]
 
 
-def main(argv=None) -> str:
+def main(argv: Optional[Sequence[str]] = None) -> str:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--nodes", type=int, nargs="+",
                         default=list(PAPER_NODES))

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import argparse
 import os
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.report import format_phase_summary, format_table
 from repro.experiments.sweep import SweepTask, SweepTrace, run_traced_sweep
@@ -137,7 +137,7 @@ def _metrics_table(traces: List[SweepTrace]) -> str:
                         title="Aggregated metrics")
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro trace", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)

@@ -18,7 +18,7 @@ from __future__ import annotations
 import abc
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.sim import Sleep
 from repro.cluster import FaultPlan, MachineSpec
@@ -102,7 +102,7 @@ class FTContext:
     def now(self) -> float:
         return self.ctx.now
 
-    def mark(self, label: str, **info) -> None:
+    def mark(self, label: str, **info: Any) -> None:
         """Record a timeline event (read back by the benchmarks)."""
         self.timeline.append((self.now, label, info))
 
@@ -114,13 +114,15 @@ class FTContext:
     # checkpoint services
     # ------------------------------------------------------------------
     def checkpoint(self, version: int, payload: Dict[str, Any],
-                   nominal_bytes: Optional[int] = None):
+                   nominal_bytes: Optional[int] = None,
+                   ) -> Generator[Any, Any, None]:
         """Generator: periodic state checkpoint (local + async neighbor)."""
         self.mark("checkpoint", version=version)
         yield from self.state_ckpt.write_checkpoint(version, payload, nominal_bytes)
 
     def write_setup_checkpoint(self, payload: Dict[str, Any],
-                               nominal_bytes: Optional[int] = None):
+                               nominal_bytes: Optional[int] = None,
+                               ) -> Generator[Any, Any, None]:
         """Generator: the one-time post-pre-processing checkpoint."""
         self.mark("setup-checkpoint")
         yield from self.setup_ckpt.write_checkpoint(SETUP_VERSION, payload,
@@ -139,20 +141,23 @@ class FTContext:
             if ret is ReturnCode.SUCCESS:
                 return int(result[0])
 
-    def agree_restore_version(self):
+    def agree_restore_version(self) -> Generator[Any, Any, int]:
         """Generator: newest checkpoint version every rank can restore."""
         mine = self.state_ckpt.restorable_latest(self.extra_nodes)
         version = yield from self.agree_min(mine)
         return version
 
-    def read_state_checkpoint(self, version: int):
+    def read_state_checkpoint(self, version: int,
+                              ) -> Generator[Any, Any, Dict[str, Any]]:
         """Generator: restore the agreed periodic checkpoint payload."""
         _, payload = yield from self.state_ckpt.read_checkpoint(
             version, self.extra_nodes
         )
         return payload
 
-    def read_setup_checkpoint(self):
+    def read_setup_checkpoint(
+        self,
+    ) -> Generator[Any, Any, Optional[Dict[str, Any]]]:
         """Generator: the setup checkpoint, or ``None`` if the team agreed
         at least one rank cannot restore it (then everyone redoes setup)."""
         mine = self.setup_ckpt.restorable_latest(self.extra_nodes)
@@ -169,7 +174,7 @@ class FTProgram(abc.ABC):
     """The application contract of the Fig. 3 flowchart."""
 
     @abc.abstractmethod
-    def setup(self, ftx: FTContext):
+    def setup(self, ftx: FTContext) -> Generator[Any, Any, Any]:
         """Generator: pre-processing from scratch; returns the work state.
 
         Should end by writing the setup checkpoint
@@ -177,7 +182,9 @@ class FTProgram(abc.ABC):
         """
 
     @abc.abstractmethod
-    def restore(self, ftx: FTContext, state_payload: Optional[Dict[str, Any]]):
+    def restore(self, ftx: FTContext,
+                state_payload: Optional[Dict[str, Any]],
+                ) -> Generator[Any, Any, Any]:
         """Generator: rebuild the work state after recovery.
 
         ``state_payload`` is the agreed periodic checkpoint (``None`` if no
@@ -185,7 +192,7 @@ class FTProgram(abc.ABC):
         """
 
     @abc.abstractmethod
-    def run(self, ftx: FTContext, work: Any):
+    def run(self, ftx: FTContext, work: Any) -> Generator[Any, Any, Any]:
         """Generator: the compute loop; returns the program result.
 
         Must perform periodic checkpoints via ``ftx.checkpoint`` and let
@@ -232,7 +239,8 @@ def _rebuild_context(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
 
 def worker_loop(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
                 program: FTProgram, ftx: FTContext, mode: str,
-                pfs: Optional[ParallelFileSystem] = None):
+                pfs: Optional[ParallelFileSystem] = None,
+                ) -> Generator[Any, Any, Dict[str, Any]]:
     """Generator: compute / recover until completion (worker side of Fig. 3)."""
     while True:
         try:
@@ -295,7 +303,8 @@ def worker_loop(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
 
 
 def idle_loop(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
-              program: FTProgram, pfs: Optional[ParallelFileSystem] = None):
+              program: FTProgram, pfs: Optional[ParallelFileSystem] = None,
+              ) -> Generator[Any, Any, Dict[str, Any]]:
     """Generator: wait to be needed (idle side of Fig. 3)."""
     seen_epoch = 0
     is_watchdog = cfg.fd_redundancy and ctx.rank == cfg.watchdog_rank
@@ -337,7 +346,8 @@ def _fd_role(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
 
 
 def ft_main(cfg: FTConfig, program: FTProgram,
-            pfs_factory=None):
+            pfs_factory: Optional[Callable[..., ParallelFileSystem]] = None,
+            ) -> Callable[[GaspiContext], Any]:
     """Build the per-rank main function for :func:`run_gaspi`."""
     pfs_cache: Dict[int, ParallelFileSystem] = {}
     # the identity map is the same on every worker and never mutated
@@ -418,7 +428,7 @@ class FTRunResult:
         return out
 
     @property
-    def fd_stats(self):
+    def fd_stats(self) -> Optional[Dict[str, Any]]:
         for proc in self.run.procs.values():
             result = proc.result
             if isinstance(result, dict) and "fd_stats" in result:
@@ -441,7 +451,7 @@ def run_ft_application(
     gaspi_config: Optional[GaspiConfig] = None,
     fault_plan: Optional[FaultPlan] = None,
     until: Optional[float] = None,
-    pfs_factory=None,
+    pfs_factory: Optional[Callable[..., ParallelFileSystem]] = None,
 ) -> FTRunResult:
     """Run a fault-tolerant application on a simulated cluster."""
     run = run_gaspi(

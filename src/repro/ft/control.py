@@ -27,7 +27,7 @@ takeover, so rescues and survivors cannot disagree about the new mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Generator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -270,7 +270,7 @@ class ControlBlock:
         self._cells_rw()[2] = 1
 
     def broadcast(self, targets: List[int], queue_id: int = 0,
-                  timeout: float = 1.0):
+                  timeout: float = 1.0) -> Generator[Any, Any, None]:
         """Generator: one-sided-write this block into every target rank.
 
         In the vectorized rank-state mode the whole fan-out is one

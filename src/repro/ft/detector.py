@@ -121,7 +121,8 @@ def scan_once(ctx: GaspiContext, targets: List[int], fd_threads: int = 1,
 
 def fd_process(ctx: GaspiContext, cfg: FTConfig,
                block: Optional[ControlBlock] = None,
-               takeover: bool = False):
+               takeover: bool = False,
+               ) -> Generator[Any, Any, Tuple[str, dict]]:
     """Generator: the fault-detector main loop.
 
     Returns ``(outcome, stats)`` where outcome is

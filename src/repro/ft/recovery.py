@@ -34,7 +34,7 @@ span on each rescue covering its whole identity-adoption.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Generator, List, Optional
 
 from repro.gaspi.constants import ReturnCode
 from repro.gaspi.context import GaspiContext
@@ -79,7 +79,8 @@ def restore_sources(ctx: GaspiContext, notice: FailureNotice) -> List[int]:
 
 
 def perform_recovery(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
-                     notice: FailureNotice, old_group: Optional[Group] = None):
+                     notice: FailureNotice, old_group: Optional[Group] = None,
+                     ) -> Generator[Any, Any, "RecoveryResult"]:
     """Generator: Listing 2 for one rank; returns :class:`RecoveryResult`.
 
     Restarts automatically if a newer failure notice supersedes ``notice``
@@ -133,6 +134,10 @@ def perform_recovery(ctx: GaspiContext, cfg: FTConfig, block: ControlBlock,
             if ret is ReturnCode.SUCCESS:
                 break
         if superseded:
+            # retire the half-built group before the next round rebinds
+            # the handle — an uncommitted group left behind would keep
+            # the runtime's group table growing across recovery storms
+            ctx.group_delete(group)
             continue
 
         if tracer.enabled:

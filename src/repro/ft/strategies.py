@@ -17,7 +17,7 @@ overhead versus the dedicated FD's zero-cost local flag check.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import Any, Generator, List, Optional, Set
 
 from repro.gaspi.context import GaspiContext
 from repro.ft.detector import scan_once
@@ -50,7 +50,7 @@ class DetectionStrategy:
     def _live_peers(self) -> List[int]:
         return [p for p in self.peers if p not in self._known_failed]
 
-    def maybe_check(self):
+    def maybe_check(self) -> Generator[Any, Any, Set[int]]:
         """Generator: run the strategy's periodic work if it is due.
 
         Returns the (possibly empty) set of *newly* detected failures.
@@ -71,7 +71,7 @@ class DetectionStrategy:
 class LocalFlagStrategy(DetectionStrategy):
     """The dedicated-FD worker side: a local memory read, no messages."""
 
-    def maybe_check(self):
+    def maybe_check(self) -> Generator[Any, Any, Set[int]]:
         if False:
             yield  # pragma: no cover - keeps this a generator
         t0 = self.ctx.now
@@ -83,7 +83,7 @@ class LocalFlagStrategy(DetectionStrategy):
 class AllToAllStrategy(DetectionStrategy):
     """Every process pings every other process, every period."""
 
-    def maybe_check(self):
+    def maybe_check(self) -> Generator[Any, Any, Set[int]]:
         if not self._due():
             return set()
         t0 = self.ctx.now
@@ -103,7 +103,7 @@ class NeighborRingStrategy(DetectionStrategy):
         idx = ring.index(self.ctx.rank)
         return ring[(idx + 1) % len(ring)]
 
-    def maybe_check(self):
+    def maybe_check(self) -> Generator[Any, Any, Set[int]]:
         if not self._due():
             return set()
         t0 = self.ctx.now

@@ -40,6 +40,7 @@ from repro.gaspi.state import StateVector
 from repro.gaspi.config import GaspiConfig
 from repro.gaspi.context import GaspiContext
 from repro.gaspi.runtime import GaspiWorld, GaspiRun, run_gaspi
+from repro.gaspi.sanitize import Sanitizer, SanitizerError
 
 __all__ = [
     "GASPI_BLOCK",
@@ -61,4 +62,6 @@ __all__ = [
     "GaspiWorld",
     "GaspiRun",
     "run_gaspi",
+    "Sanitizer",
+    "SanitizerError",
 ]

@@ -23,6 +23,12 @@ class GaspiConfig:
     #: virtual seconds of local CPU time charged per posted one-sided op
     #: (descriptor preparation); keeps million-op runs honest but cheap.
     post_overhead: float = 0.2e-6
+    #: attach the runtime protocol sanitizer (``repro.gaspi.sanitize``)
+    #: to the world; also switched on globally by ``REPRO_SANITIZE=1``.
+    #: Catches double-posted live notifications, posts after
+    #: ``QUEUE_FULL`` without drain, and segment use-after-free/OOB at
+    #: the moment they happen, raising ``SanitizerError``.
+    sanitize: bool = False
     #: force the historical eager construction path: every context
     #: materialises its queue table, state vector, private ``group_all``
     #: membership and segment buffers at build time instead of on first

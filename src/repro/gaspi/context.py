@@ -125,6 +125,9 @@ class GaspiContext:
     # ------------------------------------------------------------------
     def segment_create(self, segment_id: int, size: int) -> Segment:
         """``gaspi_segment_create`` (registration is implicit here)."""
+        san = self.world.sanitizer
+        if san is not None:
+            san.on_segment_create(self.rank, segment_id)
         return self.segments.create(
             segment_id, size, self.world.config.n_notifications,
             eager=self.world.config.eager_world,
@@ -149,26 +152,52 @@ class GaspiContext:
         def backing() -> np.ndarray:
             return arena.slot(segment_id, size, n_slots, index)
 
+        san = world.sanitizer
+        if san is not None:
+            san.on_segment_create(self.rank, segment_id)
         return self.segments.create(
             segment_id, size, world.config.n_notifications, backing=backing
         )
 
     def segment(self, segment_id: int) -> Segment:
+        san = self.world.sanitizer
+        if san is not None:
+            san.on_segment_access(self.rank, segment_id, "segment")
         return self.segments.get(segment_id)
 
     def segment_view(self, segment_id: int, dtype: Any, offset: int = 0,
                      count: Optional[int] = None) -> np.ndarray:
         """Zero-copy typed view into a local segment (``gaspi_segment_ptr``)."""
-        return self.segments.get(segment_id).view(dtype, offset, count)
+        san = self.world.sanitizer
+        if san is None:
+            return self.segments.get(segment_id).view(dtype, offset, count)
+        san.on_segment_access(self.rank, segment_id, "segment_view")
+        segment = self.segments.get(segment_id)
+        san.on_segment_view(self.rank, segment, dtype, offset, count)
+        return segment.view(dtype, offset, count)
 
     # ------------------------------------------------------------------
     # one-sided communication (non-blocking posts)
     # ------------------------------------------------------------------
+    def _san_post(self, queue_full: bool, queue_id: int) -> bool:
+        """Sanitizer bookkeeping for one posting attempt.
+
+        Returns ``queue_full`` unchanged so posting methods can write
+        ``if self._san_post(queue.full, queue_id): return QUEUE_FULL``.
+        """
+        san = self.world.sanitizer
+        if san is not None:
+            if queue_full:
+                san.on_queue_full(self.rank, queue_id)
+            else:
+                san.on_post(self.rank, queue_id)
+        return queue_full
+
     def write(self, segment_id: int, offset: int, size: int, dst_rank: int,
               remote_segment: int, remote_offset: int, queue_id: int = 0) -> ReturnCode:
         """``gaspi_write``: one-sided put, completion tracked on the queue."""
         queue = self._queue(queue_id)
-        if queue.full:
+        if self._san_post(queue.full, queue_id):
             return ReturnCode.QUEUE_FULL
         data = self.segments.get(segment_id).read_bytes(offset, size)
         self._remote(dst_rank)  # validate rank early
@@ -186,7 +215,7 @@ class GaspiContext:
              remote_segment: int, remote_offset: int, queue_id: int = 0) -> ReturnCode:
         """``gaspi_read``: one-sided get into the local segment."""
         queue = self._queue(queue_id)
-        if queue.full:
+        if self._san_post(queue.full, queue_id):
             return ReturnCode.QUEUE_FULL
         local = self.segments.get(segment_id)
         local.check_range(offset, size)
@@ -206,10 +235,14 @@ class GaspiContext:
                value: int = 1, queue_id: int = 0) -> ReturnCode:
         """``gaspi_notify``: set a notification slot on the remote segment."""
         queue = self._queue(queue_id)
-        if queue.full:
+        if self._san_post(queue.full, queue_id):
             return ReturnCode.QUEUE_FULL
         if value == 0:
             raise GaspiUsageError("notification value must be non-zero")
+        san = self.world.sanitizer
+        if san is not None:
+            san.on_notify(self.rank, dst_rank, remote_segment,
+                          notification_id, value)
         self._remote(dst_rank)
 
         def apply() -> None:
@@ -226,10 +259,14 @@ class GaspiContext:
                      value: int = 1, queue_id: int = 0) -> ReturnCode:
         """``gaspi_write_notify``: fused put + notification (data first)."""
         queue = self._queue(queue_id)
-        if queue.full:
+        if self._san_post(queue.full, queue_id):
             return ReturnCode.QUEUE_FULL
         if value == 0:
             raise GaspiUsageError("notification value must be non-zero")
+        san = self.world.sanitizer
+        if san is not None:
+            san.on_notify(self.rank, dst_rank, remote_segment,
+                          notification_id, value)
         data = self.segments.get(segment_id).read_bytes(offset, size)
         self._remote(dst_rank)
 
@@ -257,7 +294,7 @@ class GaspiContext:
         payload is a placeholder for a nominally larger blob).
         """
         queue = self._queue(queue_id)
-        if queue.full:
+        if self._san_post(queue.full, queue_id):
             return ReturnCode.QUEUE_FULL
         if not entries:
             raise GaspiUsageError("write_list needs at least one entry")
@@ -303,7 +340,7 @@ class GaspiContext:
         ascending id order.
         """
         queue = self._queue(queue_id)
-        if queue.full:
+        if self._san_post(queue.full, queue_id):
             return ReturnCode.QUEUE_FULL
         if not entries:
             raise GaspiUsageError("write_list_notify needs at least one entry")
@@ -315,6 +352,10 @@ class GaspiContext:
         for _nid, value in notifications:
             if value == 0:
                 raise GaspiUsageError("notification value must be non-zero")
+        san = self.world.sanitizer
+        if san is not None:
+            for nid, value in notifications:
+                san.on_notify(self.rank, dst_rank, notify_segment, nid, value)
         self._remote(dst_rank)
         snapshots = []
         sizes = []
@@ -358,7 +399,7 @@ class GaspiContext:
         This is the notice-broadcast fast path of the FT control block.
         """
         queue = self._queue(queue_id)
-        if queue.full:
+        if self._san_post(queue.full, queue_id):
             return ReturnCode.QUEUE_FULL
         if not dst_ranks:
             raise GaspiUsageError("write_round needs at least one target")
@@ -387,7 +428,7 @@ class GaspiContext:
         fetches a staged placeholder priced as its full replica share).
         """
         queue = self._queue(queue_id)
-        if queue.full:
+        if self._san_post(queue.full, queue_id):
             return ReturnCode.QUEUE_FULL
         if not entries:
             raise GaspiUsageError("read_list needs at least one entry")
@@ -425,7 +466,13 @@ class GaspiContext:
 
     def segment_delete(self, segment_id: int) -> None:
         """``gaspi_segment_delete``: unregister a local segment."""
+        san = self.world.sanitizer
+        if san is not None:
+            # a second delete of the same id is itself use-after-free
+            san.on_segment_access(self.rank, segment_id, "segment_delete")
         self.segments.delete(segment_id)
+        if san is not None:
+            san.on_segment_delete(self.rank, segment_id)
 
     def wait(self, queue_id: int = 0, timeout: float = GASPI_BLOCK,
              ) -> Generator[Any, Any, ReturnCode]:
@@ -439,6 +486,9 @@ class GaspiContext:
         the kernel at all, and a non-empty one blocks exactly **once** on
         an aggregate drain event instead of once per outstanding op.
         """
+        san = self.world.sanitizer
+        if san is not None:
+            san.on_queue_relief(self.rank, queue_id)
         drained = self._queue(queue_id).drain_event()
         if drained is None:
             return ReturnCode.SUCCESS
@@ -447,10 +497,23 @@ class GaspiContext:
 
     def queue_purge(self, queue_id: int = 0) -> int:
         """GPI-2 FT extension ``gaspi_queue_purge``: drop stuck operations."""
+        san = self.world.sanitizer
+        if san is not None:
+            san.on_queue_relief(self.rank, queue_id)
         return self._queue(queue_id).purge()
 
     def queue_size(self, queue_id: int = 0) -> int:
         return self._queue(queue_id).size
+
+    def queue(self, queue_id: int = 0) -> Queue:
+        """The queue object itself, like :meth:`segment` for segments.
+
+        The vectorized checkpoint fast path posts pre-built completion
+        events straight onto the queue; handing out the handle keeps
+        that bypass on the public capability surface (FT011) instead of
+        reaching through ``_queue``.
+        """
+        return self._queue(queue_id)
 
     def queue_create(self) -> int:
         """GPI-2 ``gaspi_queue_create``: add a queue, returning its id.
@@ -506,7 +569,11 @@ class GaspiContext:
 
     def notify_reset(self, segment_id: int, notification_id: int) -> int:
         """``gaspi_notify_reset``: consume and clear a slot, return old value."""
-        return self.segments.get(segment_id).notifications.reset(notification_id)
+        old = self.segments.get(segment_id).notifications.reset(notification_id)
+        san = self.world.sanitizer
+        if san is not None:
+            san.on_notify_reset(self.rank, segment_id, notification_id, old)
+        return old
 
     def notify_reset_many(self, segment_id: int,
                           notification_ids: Sequence[int]) -> List[int]:
@@ -514,9 +581,15 @@ class GaspiContext:
 
         Returns the old values in the order the ids were given.
         """
-        return self.segments.get(segment_id).notifications.reset_many(
+        olds = self.segments.get(segment_id).notifications.reset_many(
             notification_ids
         )
+        san = self.world.sanitizer
+        if san is not None:
+            for notification_id, old in zip(notification_ids, olds):
+                san.on_notify_reset(self.rank, segment_id,
+                                    notification_id, old)
+        return olds
 
     # ------------------------------------------------------------------
     # passive communication

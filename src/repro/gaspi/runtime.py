@@ -19,6 +19,7 @@ from repro.gaspi.collectives import CollectiveEngine
 from repro.gaspi.config import GaspiConfig
 from repro.gaspi.context import GaspiContext
 from repro.gaspi.groups import _Members
+from repro.gaspi.sanitize import Sanitizer, env_enabled
 from repro.gaspi.segments import SegmentArena
 
 MainFn = Callable[[GaspiContext], Generator]
@@ -49,6 +50,12 @@ class GaspiWorld:
         self.members_all = _Members.intern(tuple(range(machine.n_ranks)))
         #: pooled backing store for per-rank data-plane segments
         self.arena = SegmentArena()
+        #: runtime protocol monitor (``None`` unless requested — every
+        #: context hook is gated on a single ``is not None`` test)
+        self.sanitizer: Optional[Sanitizer] = (
+            Sanitizer(self)
+            if self.config.sanitize or env_enabled() else None
+        )
         self.contexts: Dict[int, GaspiContext] = {}
         for rank in range(machine.n_ranks):
             self.contexts[rank] = GaspiContext(self, rank)

@@ -1,0 +1,181 @@
+"""Runtime protocol sanitizer: the dynamic twin of ftlint's flow rules.
+
+ftlint's FT007–FT010 prove protocol discipline over *paths the parser
+can see*; this module asserts the same invariants over the paths a run
+actually takes.  When enabled (``REPRO_SANITIZE=1``, the ``sanitize``
+field of :class:`~repro.gaspi.config.GaspiConfig`, or the ``sanitize``
+pytest marker), every :class:`~repro.gaspi.context.GaspiContext` call
+reports into one world-level :class:`Sanitizer`, which raises
+:class:`SanitizerError` — and emits a ``sanitizer_violation`` trace
+event — the moment a rank breaks the contract:
+
+``double_post``
+    re-posting a *live* notification id with the same value (the first
+    flag has not been consumed by ``notify_reset``); posting a
+    different value is legitimate tag supersession (the spMVM
+    overwrites a stale halo tag by design).
+``post_after_full``
+    posting on a queue that previously returned ``QUEUE_FULL`` without
+    an intervening ``wait``/``queue_purge`` on that queue — the
+    paper's Listing-1 discipline (flush, then retry).
+``reset_never_posted``
+    ``notify_reset`` consuming a slot (old value 0) that no rank ever
+    posted toward — waiting on a notification nobody sends.
+``segment_use_after_free``
+    any access to a segment id after ``segment_delete`` with no
+    re-creating ``segment_create`` (the FT008 recovery-epoch rebind
+    discipline).
+``segment_oob``
+    a ``segment_view`` whose ``offset``/``count`` reach past the end
+    of the segment.
+
+The sanitizer is pure bookkeeping on dict/set lookups, costs nothing
+when disabled (``world.sanitizer is None`` — one attribute test per
+call), and never alters virtual-time behaviour when enabled.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gaspi.runtime import GaspiWorld
+    from repro.gaspi.segments import Segment
+
+__all__ = ["SanitizerError", "Sanitizer", "Violation", "env_enabled"]
+
+ENV_FLAG = "REPRO_SANITIZE"
+
+
+def env_enabled(environ: Optional[Dict[str, str]] = None) -> bool:
+    """Is the sanitizer requested via ``REPRO_SANITIZE``?"""
+    env = environ if environ is not None else dict(os.environ)
+    return env.get(ENV_FLAG, "").strip() not in ("", "0", "false", "off")
+
+
+class SanitizerError(AssertionError):
+    """A GASPI protocol violation caught at runtime.
+
+    Subclasses :class:`AssertionError` so a violating test fails like a
+    broken assertion rather than erroring, and so production code that
+    legitimately catches ``GaspiError``/``SimError`` never swallows it.
+    """
+
+
+#: one recorded violation: kind, virtual time, rank, detail fields
+Violation = Tuple[str, float, int, Dict[str, Any]]
+
+
+class Sanitizer:
+    """World-level monitor for the GASPI protocol invariants."""
+
+    def __init__(self, world: "GaspiWorld") -> None:
+        self.world = world
+        self.violations: List[Violation] = []
+        #: live (unconsumed) notifications: (dst, segment, id) -> value
+        self._live: Dict[Tuple[int, int, int], int] = {}
+        #: every (dst, segment, id) ever posted toward
+        self._posted: Set[Tuple[int, int, int]] = set()
+        #: (rank, queue) pairs that saw QUEUE_FULL and owe a flush
+        self._owing_flush: Set[Tuple[int, int]] = set()
+        #: (rank, segment) deleted and not re-created
+        self._freed: Set[Tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    def _violate(self, kind: str, rank: int, **details: Any) -> None:
+        now = self.world.sim.now
+        self.violations.append((kind, now, rank, details))
+        tracer = self.world.sim.tracer
+        if tracer.enabled:
+            tracer.emit(now, rank, "sanitizer_violation", kind=kind,
+                        **details)
+        detail = ", ".join(f"{key}={value}"
+                           for key, value in sorted(details.items()))
+        raise SanitizerError(
+            f"GASPI protocol violation [{kind}] on rank {rank} "
+            f"at t={now:.6g}: {detail}"
+        )
+
+    # ------------------------------------------------------------------
+    # queue discipline
+    # ------------------------------------------------------------------
+    def on_queue_full(self, rank: int, queue_id: int) -> None:
+        """A posting call just returned ``QUEUE_FULL``."""
+        self._owing_flush.add((rank, queue_id))
+
+    def on_post(self, rank: int, queue_id: int) -> None:
+        """A posting call is about to occupy a slot on ``queue_id``."""
+        if (rank, queue_id) in self._owing_flush:
+            self._violate(
+                "post_after_full", rank, queue=queue_id,
+                hint="call wait()/queue_purge() after QUEUE_FULL "
+                     "before posting again (paper Listing 1)",
+            )
+
+    def on_queue_relief(self, rank: int, queue_id: int) -> None:
+        """``wait``/``queue_purge`` on ``queue_id``: the debt is paid."""
+        self._owing_flush.discard((rank, queue_id))
+
+    # ------------------------------------------------------------------
+    # notifications
+    # ------------------------------------------------------------------
+    def on_notify(self, rank: int, dst_rank: int, segment_id: int,
+                  notification_id: int, value: int) -> None:
+        """A notification is being posted toward ``dst_rank``."""
+        key = (dst_rank, segment_id, notification_id)
+        if self._live.get(key) == value:
+            self._violate(
+                "double_post", rank, dst=dst_rank, segment=segment_id,
+                notification=notification_id, value=value,
+                hint="the previous identical post has not been consumed "
+                     "by notify_reset",
+            )
+        self._live[key] = value
+        self._posted.add(key)
+
+    def on_notify_reset(self, rank: int, segment_id: int,
+                        notification_id: int, old_value: int) -> None:
+        """``notify_reset`` consumed a slot on the local segment."""
+        key = (rank, segment_id, notification_id)
+        if old_value == 0 and key not in self._posted:
+            self._violate(
+                "reset_never_posted", rank, segment=segment_id,
+                notification=notification_id,
+                hint="consuming a notification no rank ever posted",
+            )
+        self._live.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # segment epochs
+    # ------------------------------------------------------------------
+    def on_segment_create(self, rank: int, segment_id: int) -> None:
+        self._freed.discard((rank, segment_id))
+
+    def on_segment_delete(self, rank: int, segment_id: int) -> None:
+        self._freed.add((rank, segment_id))
+
+    def on_segment_access(self, rank: int, segment_id: int,
+                          op: str) -> None:
+        """Any use of a local segment id (lookup, view, data source)."""
+        if (rank, segment_id) in self._freed:
+            self._violate(
+                "segment_use_after_free", rank, segment=segment_id, op=op,
+                hint="segment_delete without a rebinding segment_create "
+                     "(recovery-epoch discipline, ftlint FT008)",
+            )
+
+    def on_segment_view(self, rank: int, segment: "Segment", dtype: Any,
+                        offset: int, count: Optional[int]) -> None:
+        """Bounds-check a typed view before it is taken."""
+        itemsize = int(np.dtype(dtype).itemsize)
+        end = offset + (count * itemsize if count is not None else 0)
+        if offset < 0 or end > segment.size or offset > segment.size:
+            self._violate(
+                "segment_oob", rank, segment=segment.segment_id,
+                offset=offset, count=count,
+                size=segment.size,
+                hint="view reaches past the end of the segment",
+            )

@@ -16,8 +16,8 @@ the CLI entry point.
 from .tracer import (  # noqa: F401
     BROADCAST_FLAGS, CKPT_MIRROR, CKPT_WRITE, DETECTION, EVENT_TYPES,
     FAILURE_INJECTED, GROUP_REBUILD, NULL_TRACER, PING, PROC_KILL, RESTORE,
-    ROLLBACK, SOLVER_ITER, SPARE_PROMOTE, TraceEvent, Tracer, NullTracer,
-    active_tracer, deactivate, install,
+    ROLLBACK, SANITIZER_VIOLATION, SOLVER_ITER, SPARE_PROMOTE, TraceEvent,
+    Tracer, NullTracer, active_tracer, deactivate, install,
 )
 from .metrics import (  # noqa: F401
     Counter, Gauge, Histogram, MetricsRegistry, registry_from_events,

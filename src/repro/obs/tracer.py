@@ -58,11 +58,16 @@ CKPT_SCATTER = "ckpt_scatter"
 RESTORE = "restore"
 SOLVER_ITER = "solver_iter"
 ROLLBACK = "rollback"
+#: emitted by the runtime protocol sanitizer (``repro.gaspi.sanitize``,
+#: enabled via ``REPRO_SANITIZE=1``) just before it raises on a protocol
+#: violation — double-posted live notification, post after ``QUEUE_FULL``
+#: without drain, segment access out of bounds or after free
+SANITIZER_VIOLATION = "sanitizer_violation"
 
 EVENT_TYPES = frozenset({
     PING, FAILURE_INJECTED, DETECTION, BROADCAST_FLAGS, GROUP_REBUILD,
     SPARE_PROMOTE, PROC_KILL, CKPT_WRITE, CKPT_MIRROR, CKPT_SCATTER,
-    RESTORE, SOLVER_ITER, ROLLBACK,
+    RESTORE, SOLVER_ITER, ROLLBACK, SANITIZER_VIOLATION,
 })
 
 #: one trace record: end timestamp (virtual s), emitting physical rank

@@ -1,0 +1,423 @@
+"""Four-way fixtures and targeted semantics for the flow rules FT007–FT010.
+
+Each rule gets the violation / guarded / suppressed / baselined
+treatment, then the discriminations that make the rules usable on real
+code: same-call-site loop reposts are not double posts, tag supersession
+is legal, escaped handles transfer the obligation, helper-named flushes
+discharge.  The final class seeds a mutant into *real tree code*
+(``repro.ft.recovery``) and checks the static rule catches it — the
+runtime sanitizer's half of that pairing lives in
+``tests/gaspi/test_sanitizer.py``.
+"""
+
+import textwrap
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.ftlint import (
+    Baseline,
+    all_rules,
+    analyze_file,
+    fingerprint,
+    split_by_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def lint(tmp_path, source, display_path, rule_id):
+    path = tmp_path / "snippet.py"
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    rules = [r for r in all_rules() if r.id == rule_id]
+    assert rules, f"unknown rule {rule_id}"
+    return analyze_file(path, rules=rules, display_path=display_path)
+
+
+# ----------------------------------------------------------------------
+# the four-way table: (rule, path, positive, negative, suppressed)
+# ----------------------------------------------------------------------
+CASES = [
+    (
+        "FT007", "src/repro/spmvm/fixture.py",
+        """
+        def exchange(ctx, peer):
+            ctx.write_notify(0, 0, 8, peer, 0, 0, 7)
+        """,
+        """
+        def exchange(ctx, peer):
+            ctx.write_notify(0, 0, 8, peer, 0, 0, 7)
+            ret = yield from ctx.wait(0)
+            return ret
+        """,
+        """
+        def exchange(ctx, peer):
+            ctx.write_notify(0, 0, 8, peer, 0, 0, 7)  # ftlint: disable=FT007 -- test fixture
+        """,
+    ),
+    (
+        "FT008", "src/repro/checkpoint/fixture.py",
+        """
+        def retire(ctx):
+            ctx.segment_delete(3)
+            ctx.segment(3)
+        """,
+        """
+        def retire(ctx):
+            ctx.segment_delete(3)
+            ctx.segment_create(3, 1024)
+            ctx.segment(3)
+        """,
+        """
+        def retire(ctx):
+            ctx.segment_delete(3)
+            ctx.segment(3)  # ftlint: disable=FT008 -- test fixture
+        """,
+    ),
+    (
+        "FT009", "src/repro/ft/fixture.py",
+        """
+        def build(ctx, ranks):
+            group = ctx.group_create(tag=1)
+            for r in ranks:
+                group.add(r)
+        """,
+        """
+        def build(ctx, ranks):
+            group = ctx.group_create(tag=1)
+            for r in ranks:
+                group.add(r)
+            ret = yield from ctx.group_commit(group, 5.0)
+            return ret
+        """,
+        """
+        def build(ctx, ranks):
+            group = ctx.group_create(tag=1)  # ftlint: disable=FT009 -- test fixture
+            for r in ranks:
+                group.add(r)
+        """,
+    ),
+    (
+        "FT010", "src/repro/solvers/fixture.py",
+        """
+        def pump(ctx, peer, n):
+            for i in range(n):
+                ctx.write(0, 0, 8, peer, 0, 0)
+        """,
+        """
+        def pump(ctx, peer, n):
+            for i in range(n):
+                ctx.write(0, 0, 8, peer, 0, 0)
+            ret = yield from ctx.wait(0)
+            return ret
+        """,
+        """
+        def pump(ctx, peer, n):
+            for i in range(n):
+                ctx.write(0, 0, 8, peer, 0, 0)  # ftlint: disable=FT010 -- test fixture
+        """,
+    ),
+]
+
+IDS = [case[0] for case in CASES]
+
+
+@pytest.mark.parametrize("rule,path,positive,negative,suppressed",
+                         CASES, ids=IDS)
+class TestFourWay:
+    def test_positive_flags(self, tmp_path, rule, path, positive,
+                            negative, suppressed):
+        findings = lint(tmp_path, positive, path, rule)
+        assert [f.rule for f in findings] == [rule]
+        assert findings[0].path == path
+        assert findings[0].message
+
+    def test_negative_clean(self, tmp_path, rule, path, positive,
+                            negative, suppressed):
+        assert lint(tmp_path, negative, path, rule) == []
+
+    def test_suppression_mutes(self, tmp_path, rule, path, positive,
+                               negative, suppressed):
+        assert lint(tmp_path, suppressed, path, rule) == []
+
+    def test_baselined_not_new(self, tmp_path, rule, path, positive,
+                               negative, suppressed):
+        findings = lint(tmp_path, positive, path, rule)
+        baseline = Baseline(counts=Counter(fingerprint(f) for f in findings))
+        new, baselined, stale = split_by_baseline(findings, baseline)
+        assert new == []
+        assert baselined == findings
+        assert stale == []
+
+    def test_out_of_scope_path_ignored(self, tmp_path, rule, path, positive,
+                                       negative, suppressed):
+        assert lint(tmp_path, positive, "src/repro/gaspi/fixture.py",
+                    rule) == []
+
+
+# ----------------------------------------------------------------------
+# FT007: double-post discrimination
+# ----------------------------------------------------------------------
+class TestFT007Semantics:
+    PATH = "src/repro/spmvm/fixture.py"
+
+    def test_two_sites_same_value_is_a_double_post(self, tmp_path):
+        src = """
+        def exchange(ctx, peer):
+            ctx.notify(peer, 0, 5, 1)
+            ctx.notify(peer, 0, 5, 1)
+            yield from ctx.wait(0)
+        """
+        findings = lint(tmp_path, src, self.PATH, "FT007")
+        assert len(findings) == 1
+        assert "re-posted" in findings[0].message
+
+    def test_same_site_loop_repost_is_not_a_double_post(self, tmp_path):
+        # the spMVM posts the same halo tag every iteration from one call
+        # site; only a second *textual* site while live is suspicious
+        src = """
+        def pump(ctx, peer, n):
+            for i in range(n):
+                ctx.notify(peer, 0, 5, 1)
+            yield from ctx.wait(0)
+        """
+        assert lint(tmp_path, src, self.PATH, "FT007") == []
+
+    def test_supersession_with_new_value_is_legal(self, tmp_path):
+        src = """
+        def retag(ctx, peer):
+            ctx.notify(peer, 0, 5, 1)
+            ctx.notify(peer, 0, 5, 2)
+            yield from ctx.wait(0)
+        """
+        assert lint(tmp_path, src, self.PATH, "FT007") == []
+
+    def test_returned_return_code_escapes_obligation(self, tmp_path):
+        # fire-and-forget helper: the caller owns the wait
+        src = """
+        def post(ctx, peer):
+            return ctx.notify(peer, 0, 5, 1)
+        """
+        assert lint(tmp_path, src, self.PATH, "FT007") == []
+
+    def test_branch_that_skips_the_wait_leaks(self, tmp_path):
+        src = """
+        def exchange(ctx, peer, eager):
+            ctx.notify(peer, 0, 5, 1)
+            if eager:
+                return None
+            yield from ctx.wait(0)
+        """
+        findings = lint(tmp_path, src, self.PATH, "FT007")
+        assert len(findings) == 1
+        assert "exit" in findings[0].message
+
+    def test_helper_named_flush_discharges(self, tmp_path):
+        src = """
+        def exchange(self, ctx, peer):
+            ctx.notify(peer, 0, 5, 1)
+            self._flush_halo_queue()
+        """
+        assert lint(tmp_path, src, self.PATH, "FT007") == []
+
+
+# ----------------------------------------------------------------------
+# FT008: epoch discipline
+# ----------------------------------------------------------------------
+class TestFT008Semantics:
+    PATH = "src/repro/checkpoint/fixture.py"
+
+    def test_delete_on_one_branch_poisons_the_join(self, tmp_path):
+        src = """
+        def partial(ctx, flag):
+            if flag:
+                ctx.segment_delete(3)
+            ctx.segment(3)
+        """
+        findings = lint(tmp_path, src, self.PATH, "FT008")
+        assert len(findings) == 1
+        assert "segment_delete" in findings[0].message
+
+    def test_rebind_on_the_same_branch_is_clean(self, tmp_path):
+        src = """
+        def partial(ctx, flag):
+            if flag:
+                ctx.segment_delete(3)
+                ctx.segment_create(3, 1024)
+            ctx.segment(3)
+        """
+        assert lint(tmp_path, src, self.PATH, "FT008") == []
+
+    def test_different_segment_id_untouched(self, tmp_path):
+        src = """
+        def retire(ctx):
+            ctx.segment_delete(3)
+            ctx.segment(4)
+        """
+        assert lint(tmp_path, src, self.PATH, "FT008") == []
+
+    def test_posting_op_segment_argument_is_a_use(self, tmp_path):
+        src = """
+        def push(ctx, peer):
+            ctx.segment_delete(3)
+            ctx.write(3, 0, 8, peer, 0, 0)
+        """
+        findings = lint(tmp_path, src, self.PATH, "FT008")
+        assert len(findings) == 1
+        assert "'write'" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# FT009: balance and escape
+# ----------------------------------------------------------------------
+class TestFT009Semantics:
+    PATH = "src/repro/ft/fixture.py"
+
+    def test_early_return_path_leaks_the_group(self, tmp_path):
+        src = """
+        def build(ctx, flag):
+            group = ctx.group_create(tag=1)
+            if flag:
+                return None
+            ret = yield from ctx.group_commit(group, 5.0)
+            return ret
+        """
+        findings = lint(tmp_path, src, self.PATH, "FT009")
+        assert len(findings) == 1
+        assert "group_commit" in findings[0].message
+
+    def test_rebind_while_uncommitted_flags(self, tmp_path):
+        src = """
+        def rebuild(ctx):
+            group = ctx.group_create(tag=1)
+            group = ctx.group_create(tag=2)
+            ret = yield from ctx.group_commit(group, 5.0)
+            return ret
+        """
+        findings = lint(tmp_path, src, self.PATH, "FT009")
+        assert len(findings) == 1
+        assert "rebound" in findings[0].message
+
+    def test_group_delete_discharges(self, tmp_path):
+        src = """
+        def abandon(ctx, flag):
+            group = ctx.group_create(tag=1)
+            if flag:
+                ctx.group_delete(group)
+                return None
+            ret = yield from ctx.group_commit(group, 5.0)
+            return ret
+        """
+        assert lint(tmp_path, src, self.PATH, "FT009") == []
+
+    def test_returned_handle_escapes(self, tmp_path):
+        src = """
+        def make(ctx):
+            group = ctx.group_create(tag=1)
+            return group
+        """
+        assert lint(tmp_path, src, self.PATH, "FT009") == []
+
+    def test_stored_handle_escapes(self, tmp_path):
+        src = """
+        def adopt(self, ctx):
+            group = ctx.group_create(tag=1)
+            self.group = group
+        """
+        assert lint(tmp_path, src, self.PATH, "FT009") == []
+
+    def test_mutators_do_not_discharge(self, tmp_path):
+        src = """
+        def build(ctx, ks, ranks):
+            group = ctx.group_create(tag=1)
+            ks.group_fill(group, ranks)
+        """
+        findings = lint(tmp_path, src, self.PATH, "FT009")
+        assert len(findings) == 1
+
+    def test_nested_def_is_opaque_to_the_outer_function(self, tmp_path):
+        # the inner function's commit must not balance the outer create,
+        # and the outer create must not leak into the inner CFG
+        src = """
+        def outer(ctx):
+            def inner(ctx):
+                group = ctx.group_create(tag=2)
+                ret = yield from ctx.group_commit(group, 5.0)
+                return ret
+            group = ctx.group_create(tag=1)
+            ret = yield from ctx.group_commit(group, 5.0)
+            return ret, inner
+        """
+        assert lint(tmp_path, src, self.PATH, "FT009") == []
+
+
+# ----------------------------------------------------------------------
+# FT010: reachability of the drain
+# ----------------------------------------------------------------------
+class TestFT010Semantics:
+    PATH = "src/repro/solvers/fixture.py"
+
+    def test_wait_inside_the_loop_body_is_reachable(self, tmp_path):
+        src = """
+        def pump(ctx, peer, n):
+            for i in range(n):
+                ctx.write(0, 0, 8, peer, 0, 0)
+                ret = yield from ctx.wait(0)
+        """
+        assert lint(tmp_path, src, self.PATH, "FT010") == []
+
+    def test_helper_named_drain_is_reachable(self, tmp_path):
+        src = """
+        def pump(self, ctx, peer, n):
+            for i in range(n):
+                ctx.write(0, 0, 8, peer, 0, 0)
+                self.drain_if_needed()
+        """
+        assert lint(tmp_path, src, self.PATH, "FT010") == []
+
+    def test_post_outside_any_loop_is_ft007s_business_not_ft010s(
+            self, tmp_path):
+        src = """
+        def once(ctx, peer):
+            ctx.write(0, 0, 8, peer, 0, 0)
+        """
+        assert lint(tmp_path, src, self.PATH, "FT010") == []
+
+    def test_while_true_posting_without_drain_flags(self, tmp_path):
+        src = """
+        def forever(ctx, peer):
+            while True:
+                ctx.notify(peer, 0, 5, 1)
+        """
+        findings = lint(tmp_path, src, self.PATH, "FT010")
+        assert len(findings) == 1
+        assert "queue" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# seeded mutant of real tree code (static half of the pairing; the
+# runtime half is tests/gaspi/test_sanitizer.py)
+# ----------------------------------------------------------------------
+class TestSeededMutant:
+    DISPLAY = "src/repro/ft/recovery.py"
+
+    def _recovery_source(self):
+        return (REPO_ROOT / "src/repro/ft/recovery.py").read_text(
+            encoding="utf-8")
+
+    def test_real_recovery_module_is_clean(self, tmp_path):
+        findings = lint(tmp_path, self._recovery_source(), self.DISPLAY,
+                        "FT009")
+        assert findings == []
+
+    def test_dropping_the_superseded_group_delete_is_caught(self, tmp_path):
+        # re-introduce the protocol bug this rule was built to prevent:
+        # perform_recovery abandoning the half-built group when a newer
+        # failure notice supersedes the one it was recovering from
+        source = self._recovery_source()
+        assert "ctx.group_delete(group)" in source
+        mutant = source.replace("ctx.group_delete(group)", "pass")
+        findings = lint(tmp_path, mutant, self.DISPLAY, "FT009")
+        assert any(f.rule == "FT009" for f in findings)
+        assert any("group" in f.message for f in findings)

@@ -174,3 +174,100 @@ class TestEntryPoints:
         )
         assert proc.returncode == 0, proc.stderr
         assert "FT006" in proc.stdout
+
+
+class TestSarifFormat:
+    def _sarif(self, capsys, args):
+        code = run(args)
+        return code, json.loads(capsys.readouterr().out)
+
+    def test_document_shape(self, project, capsys):
+        code, doc = self._sarif(
+            capsys, ["src", "--select", "FT001", "--format", "sarif"])
+        assert code == 1
+        assert doc["version"] == "2.1.0"
+        (sarif_run,) = doc["runs"]
+        driver = sarif_run["tool"]["driver"]
+        assert driver["name"] == "ftlint"
+        assert any(rule["id"] == "FT001" for rule in driver["rules"])
+        (result,) = sarif_run["results"]
+        assert result["ruleId"] == "FT001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == \
+            "src/repro/ft/fixture.py"
+        assert location["region"]["startLine"] >= 1
+        assert "ftlintFingerprint/v1" in result["partialFingerprints"]
+
+    def test_rule_index_is_consistent(self, project, capsys):
+        _, doc = self._sarif(
+            capsys, ["src", "--select", "FT001", "--format", "sarif"])
+        (sarif_run,) = doc["runs"]
+        rules = sarif_run["tool"]["driver"]["rules"]
+        (result,) = sarif_run["results"]
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_baselined_finding_carried_as_unchanged(self, project, capsys):
+        run(["src", "--select", "FT001", "--write-baseline"])
+        capsys.readouterr()
+        code, doc = self._sarif(
+            capsys, ["src", "--select", "FT001", "--format", "sarif"])
+        assert code == 0  # grandfathered under --fail-on new
+        (result,) = doc["runs"][0]["results"]
+        assert result["level"] == "note"
+        assert result["baselineState"] == "unchanged"
+        assert result["suppressions"][0]["kind"] == "external"
+
+    def test_fingerprint_matches_local_baseline_format(self, project, capsys):
+        _, sarif_doc = self._sarif(
+            capsys, ["src", "--select", "FT001", "--format", "sarif"])
+        run(["src", "--select", "FT001", "--format", "json"])
+        json_doc = json.loads(capsys.readouterr().out)
+        sarif_fp = sarif_doc["runs"][0]["results"][0][
+            "partialFingerprints"]["ftlintFingerprint/v1"]
+        assert sarif_fp == json_doc["findings"][0]["fingerprint"]
+
+
+MINI_CONTEXT = textwrap.dedent("""
+    class GaspiContext:
+        def write(self, segment_id, offset, size, dst_rank,
+                  remote_segment, remote_offset, queue_id=0):
+            return None
+""")
+
+MINI_USER = textwrap.dedent("""
+    def push(ctx, peer):
+        ctx.write(0, 0, 8, peer, 0, 0)
+""")
+
+
+class TestManifestCli:
+    @pytest.fixture
+    def mini_repo(self, tmp_path):
+        (tmp_path / "src/repro/gaspi").mkdir(parents=True)
+        (tmp_path / "src/repro/ft").mkdir(parents=True)
+        (tmp_path / "src/repro/gaspi/context.py").write_text(
+            MINI_CONTEXT, encoding="utf-8")
+        (tmp_path / "src/repro/ft/user.py").write_text(
+            MINI_USER, encoding="utf-8")
+        return tmp_path
+
+    def test_write_then_check_roundtrip(self, mini_repo, capsys):
+        assert run(["--write-manifest", "--root", str(mini_repo)]) == 0
+        assert (mini_repo / "capability_manifest.json").exists()
+        assert run(["--check-manifest", "--root", str(mini_repo)]) == 0
+        assert "current" in capsys.readouterr().out
+
+    def test_drift_fails_the_gate(self, mini_repo, capsys):
+        run(["--write-manifest", "--root", str(mini_repo)])
+        (mini_repo / "src/repro/ft/user.py").write_text(
+            MINI_USER + "\ndef ping(ctx):\n    return ctx.proc_ping(1)\n",
+            encoding="utf-8")
+        assert run(["--check-manifest", "--root", str(mini_repo)]) == 1
+        err = capsys.readouterr().err
+        assert "proc_ping" in err
+        assert "--write-manifest" in err
+
+    def test_missing_manifest_fails_the_gate(self, mini_repo, capsys):
+        assert run(["--check-manifest", "--root", str(mini_repo)]) == 1
+        assert "missing" in capsys.readouterr().err

@@ -1,0 +1,208 @@
+"""Capability manifest: extraction, determinism, drift, and rule FT011."""
+
+import json
+import textwrap
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.ftlint import (
+    Baseline,
+    all_rules,
+    analyze_file,
+    fingerprint,
+    split_by_baseline,
+)
+from repro.analysis.ftlint.manifest import (
+    MANIFEST_NAME,
+    build_manifest,
+    check_manifest,
+    extract_context_api,
+    render_manifest,
+    write_manifest,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CONTEXT_SRC = textwrap.dedent("""
+    class GaspiContext:
+        def write(self, segment_id, offset, size, dst_rank,
+                  remote_segment, remote_offset, queue_id=0):
+            return None
+
+        def wait(self, queue_id=0, timeout=None):
+            yield
+            return None
+
+        def _queue(self, queue_id):
+            return None
+""")
+
+USER_SRC = textwrap.dedent("""
+    def push(ctx, peer):
+        ctx.write(0, 0, 8, peer, 0, 0)
+""")
+
+
+@pytest.fixture
+def project(tmp_path):
+    """A miniature repo with one context and one consumer."""
+    gaspi = tmp_path / "src" / "repro" / "gaspi"
+    ft = tmp_path / "src" / "repro" / "ft"
+    gaspi.mkdir(parents=True)
+    ft.mkdir(parents=True)
+    (gaspi / "context.py").write_text(CONTEXT_SRC, encoding="utf-8")
+    (ft / "user.py").write_text(USER_SRC, encoding="utf-8")
+    return tmp_path
+
+
+class TestExtraction:
+    def test_api_typing(self):
+        api = extract_context_api(CONTEXT_SRC)
+        assert api["write"]["kind"] == "plain"
+        assert api["write"]["category"] == "posting"
+        assert api["wait"]["kind"] == "generator"
+        assert api["wait"]["category"] == "queue"
+        assert api["write"]["params"][0] == "segment_id"
+        assert "_queue" not in api  # private surface excluded
+
+    def test_build_records_usage(self, project):
+        manifest = build_manifest(project)
+        assert manifest["schema"] == 1
+        assert list(manifest["operations"]) == ["write"]
+        assert manifest["operations"]["write"]["used_by"] == ["repro.ft"]
+
+
+class TestDeterminism:
+    def test_rebuild_is_identical(self, project):
+        assert build_manifest(project) == build_manifest(project)
+        assert render_manifest(build_manifest(project)) == \
+            render_manifest(build_manifest(project))
+
+    def test_render_is_sorted_json_with_trailing_newline(self, project):
+        text = render_manifest(build_manifest(project))
+        assert text.endswith("\n")
+        doc = json.loads(text)
+        assert text == json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+    def test_repo_manifest_is_current(self):
+        # the committed manifest regenerates to itself — the same gate
+        # CI runs via `ftlint --check-manifest`
+        assert check_manifest(REPO_ROOT) == []
+
+
+class TestDrift:
+    def test_fresh_manifest_is_current(self, project):
+        write_manifest(project)
+        assert check_manifest(project) == []
+
+    def test_missing_manifest_reported(self, project):
+        (drift,) = check_manifest(project)
+        assert "missing" in drift
+
+    def test_new_usage_is_drift(self, project):
+        write_manifest(project)
+        user = project / "src/repro/ft/user.py"
+        user.write_text(USER_SRC + textwrap.dedent("""
+            def flush(ctx):
+                ret = yield from ctx.wait(0)
+                return ret
+        """), encoding="utf-8")
+        drift = check_manifest(project)
+        assert any("'wait' is used but missing" in line for line in drift)
+
+    def test_dropped_usage_is_drift(self, project):
+        write_manifest(project)
+        (project / "src/repro/ft/user.py").write_text(
+            "def idle():\n    return None\n", encoding="utf-8")
+        drift = check_manifest(project)
+        assert any("'write' is in the manifest but no longer used" in line
+                   for line in drift)
+
+    def test_unreadable_manifest_reported(self, project):
+        (project / MANIFEST_NAME).write_text("{not json", encoding="utf-8")
+        (drift,) = check_manifest(project)
+        assert "unreadable" in drift
+
+
+# ----------------------------------------------------------------------
+# FT011, four ways (the manifest lives in an ancestor of the linted file)
+# ----------------------------------------------------------------------
+MINI_MANIFEST = {
+    "schema": 1,
+    "context": "repro.gaspi.context.GaspiContext",
+    "operations": {
+        "write": {"kind": "plain", "category": "posting",
+                  "params": [], "used_by": ["repro.ft"]},
+    },
+}
+
+
+def lint11(tmp_path, source, display_path):
+    path = tmp_path / "snippet.py"
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    rules = [r for r in all_rules() if r.id == "FT011"]
+    return analyze_file(path, rules=rules, display_path=display_path)
+
+
+class TestFT011FourWay:
+    PATH = "src/repro/ft/fixture.py"
+    VIOLATION = """
+        def go(ctx, peer):
+            ctx.frobnicate(peer)
+    """
+
+    @pytest.fixture(autouse=True)
+    def manifest(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps(MINI_MANIFEST), encoding="utf-8")
+
+    def test_unmanifested_op_flags(self, tmp_path):
+        findings = lint11(tmp_path, self.VIOLATION, self.PATH)
+        assert [f.rule for f in findings] == ["FT011"]
+        assert "frobnicate" in findings[0].message
+
+    def test_manifested_and_attributed_is_clean(self, tmp_path):
+        src = """
+        def go(ctx, peer):
+            ctx.write(0, 0, 8, peer, 0, 0)
+        """
+        assert lint11(tmp_path, src, self.PATH) == []
+
+    def test_unattributed_package_flags(self, tmp_path):
+        # 'write' is manifested, but only for repro.ft — a spmvm adoption
+        # is an attribution drift
+        src = """
+        def go(ctx, peer):
+            ctx.write(0, 0, 8, peer, 0, 0)
+        """
+        findings = lint11(tmp_path, src, "src/repro/spmvm/fixture.py")
+        assert len(findings) == 1
+        assert "not attributed" in findings[0].message
+
+    def test_suppression_mutes(self, tmp_path):
+        src = """
+        def go(ctx, peer):
+            ctx.frobnicate(peer)  # ftlint: disable=FT011 -- test fixture
+        """
+        assert lint11(tmp_path, src, self.PATH) == []
+
+    def test_baselined_not_new(self, tmp_path):
+        findings = lint11(tmp_path, self.VIOLATION, self.PATH)
+        baseline = Baseline(counts=Counter(fingerprint(f) for f in findings))
+        new, baselined, stale = split_by_baseline(findings, baseline)
+        assert new == []
+        assert baselined == findings
+
+    def test_non_consumer_path_out_of_scope(self, tmp_path):
+        assert lint11(tmp_path, self.VIOLATION,
+                      "src/repro/gaspi/fixture.py") == []
+
+
+def test_ft011_quiet_without_a_manifest(tmp_path):
+    findings = lint11(tmp_path, """
+        def go(ctx, peer):
+            ctx.frobnicate(peer)
+    """, "src/repro/ft/fixture.py")
+    assert findings == []

@@ -1,0 +1,98 @@
+"""Stale-suppression detection: a pragma that mutes nothing is itself a
+finding, so burned-down baselines cannot leave dead ``# ftlint:
+disable=`` comments behind."""
+
+import textwrap
+
+from repro.analysis.ftlint import all_rules, analyze_file
+
+
+def lint(tmp_path, source, display_path="src/repro/ft/fixture.py",
+         select=None):
+    path = tmp_path / "snippet.py"
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    rules = all_rules()
+    if select is not None:
+        rules = [r for r in rules if r.id in select]
+    return analyze_file(path, rules=rules, display_path=display_path)
+
+
+def pragma_findings(findings):
+    return [f for f in findings if f.rule == "PRAGMA"]
+
+
+class TestStalePragma:
+    def test_unused_pragma_is_reported(self, tmp_path):
+        findings = lint(tmp_path, """
+            def api(x: int) -> int:
+                return x  # ftlint: disable=FT006 -- long since fixed
+        """)
+        (finding,) = pragma_findings(findings)
+        assert finding.rule == "PRAGMA"
+        assert "mutes nothing" in finding.message
+        assert "FT006" in finding.message
+
+    def test_used_pragma_is_not_stale(self, tmp_path):
+        findings = lint(tmp_path, """
+            def api(x):  # ftlint: disable=FT006 -- deliberate
+                return x
+        """)
+        assert pragma_findings(findings) == []
+        assert [f for f in findings if f.rule == "FT006"] == []
+
+    def test_docstring_pragma_text_is_not_a_pragma(self, tmp_path):
+        # ftlint documentation quotes pragma examples inside docstrings;
+        # only real COMMENT tokens count
+        findings = lint(tmp_path, '''
+            def api(x: int) -> int:
+                """Examples write `# ftlint: disable=FT006 -- why` inline."""
+                return x
+        ''')
+        assert pragma_findings(findings) == []
+
+    def test_pragma_for_unrun_rule_is_not_judged(self, tmp_path):
+        # under --select FT006 an FT001 pragma gets no verdict: the rule
+        # it mutes simply did not run
+        findings = lint(tmp_path, """
+            def step(ctx, q):
+                ret = yield from ctx.wait(q)  # ftlint: disable=FT001 -- ok
+                return ret
+        """, select={"FT006"})
+        assert pragma_findings(findings) == []
+
+    def test_pragma_judged_stale_when_its_rule_runs(self, tmp_path):
+        findings = lint(tmp_path, """
+            def step(ctx, guard, q):
+                guard.assert_healthy()
+                ret = yield from ctx.wait(q)  # ftlint: disable=FT001 -- ok
+                return ret
+        """, select={"FT001"})
+        assert len(pragma_findings(findings)) == 1
+
+    def test_disable_all_judged_only_by_full_registry_run(self, tmp_path):
+        src = """
+            def api(x: int) -> int:
+                return x  # ftlint: disable=all -- kitchen sink
+        """
+        assert pragma_findings(lint(tmp_path, src, select={"FT006"})) == []
+        (finding,) = pragma_findings(lint(tmp_path, src))
+        assert "all" in finding.message
+
+    def test_disable_all_that_mutes_something_is_used(self, tmp_path):
+        findings = lint(tmp_path, """
+            def api(x):  # ftlint: disable=all -- prototype
+                return x
+        """)
+        assert pragma_findings(findings) == []
+
+    def test_tree_has_no_stale_pragmas(self):
+        # the satellite's delete step, kept honest: PRAGMA findings on
+        # the real tree would surface in the baseline-free count of
+        # test_ftlint_self.py, but assert the property directly too
+        from pathlib import Path
+
+        from repro.analysis.ftlint import analyze_paths
+
+        repo = Path(__file__).resolve().parents[2]
+        result = analyze_paths([str(repo / "src"), str(repo / "tests")])
+        assert [f for f in result.findings if f.rule == "PRAGMA"] == []

@@ -1,0 +1,289 @@
+"""The runtime protocol sanitizer (``repro.gaspi.sanitize``).
+
+Integration tests inject each protocol violation through real context
+calls and expect :class:`SanitizerError` out of the run — the runtime
+half of the pairing whose static half lives in
+``tests/analysis/test_flowrules.py``.  Unit tests drive the
+:class:`Sanitizer` state machine directly where orchestrating two ranks
+would only add noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gaspi import (
+    GASPI_BLOCK,
+    GaspiConfig,
+    ReturnCode,
+    SanitizerError,
+    run_gaspi,
+)
+from repro.gaspi.sanitize import ENV_FLAG, Sanitizer, env_enabled
+from repro.obs.tracer import NULL_TRACER, SANITIZER_VIOLATION, Tracer
+from repro.sim import Simulator, Sleep
+
+SAN = GaspiConfig(sanitize=True)
+
+
+def run_sanitized(main, n_ranks=2, **kwargs):
+    return run_gaspi(main, n_ranks=n_ranks, config=SAN, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# attachment
+# ----------------------------------------------------------------------
+class TestAttachment:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+
+        def main(ctx):
+            if False:
+                yield
+            return ctx.world.sanitizer is None
+
+        assert run_gaspi(main, n_ranks=1).result(0) is True
+
+    def test_config_attaches(self):
+        def main(ctx):
+            if False:
+                yield
+            return ctx.world.sanitizer is not None
+
+        assert run_sanitized(main, n_ranks=1).result(0) is True
+
+    def test_env_flag_attaches(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+
+        def main(ctx):
+            if False:
+                yield
+            return ctx.world.sanitizer is not None
+
+        assert run_gaspi(main, n_ranks=1).result(0) is True
+
+    def test_env_parsing(self):
+        assert env_enabled({ENV_FLAG: "1"})
+        assert env_enabled({ENV_FLAG: "yes"})
+        assert not env_enabled({ENV_FLAG: ""})
+        assert not env_enabled({ENV_FLAG: "0"})
+        assert not env_enabled({ENV_FLAG: "false"})
+        assert not env_enabled({ENV_FLAG: "off"})
+        assert not env_enabled({})
+
+    @pytest.mark.sanitize
+    def test_pytest_marker_sets_the_env_flag(self):
+        assert env_enabled()
+
+        def main(ctx):
+            if False:
+                yield
+            return ctx.world.sanitizer is not None
+
+        assert run_gaspi(main, n_ranks=1).result(0) is True
+
+
+# ----------------------------------------------------------------------
+# violations through real context calls
+# ----------------------------------------------------------------------
+class TestViolations:
+    def test_double_post_same_value_raises(self):
+        def main(ctx):
+            if False:
+                yield
+            ctx.segment_create(0, 64)
+            if ctx.rank == 0:
+                ctx.notify(1, 0, 5, value=3)
+                ctx.notify(1, 0, 5, value=3)
+
+        with pytest.raises(SanitizerError, match="double_post"):
+            run_sanitized(main)
+
+    def test_supersession_with_new_value_is_legal(self):
+        def main(ctx):
+            ctx.segment_create(0, 64)
+            if ctx.rank == 0:
+                ctx.notify(1, 0, 5, value=3)
+                ctx.notify(1, 0, 5, value=4)
+                ret = yield from ctx.wait(0)
+                return ret
+            yield from ctx.barrier()
+
+        run = run_sanitized(main)
+        assert run.result(0) is ReturnCode.SUCCESS
+        assert run.world.sanitizer.violations == []
+
+    def test_post_after_queue_full_without_drain_raises(self):
+        cfg = GaspiConfig(sanitize=True, queue_depth=1)
+
+        def main(ctx):
+            ctx.segment_create(0, 64)
+            if ctx.rank == 0:
+                assert ctx.write(0, 0, 8, 1, 0, 0) is ReturnCode.SUCCESS
+                assert ctx.write(0, 0, 8, 1, 0, 8) is ReturnCode.QUEUE_FULL
+                # a slot frees organically as the RDMA completes, but the
+                # Listing-1 debt (wait/queue_purge) was never paid
+                yield Sleep(1.0)
+                ctx.write(0, 0, 8, 1, 0, 8)
+
+        with pytest.raises(SanitizerError, match="post_after_full"):
+            run_gaspi(main, n_ranks=2, config=cfg)
+
+    def test_wait_after_queue_full_pays_the_debt(self):
+        cfg = GaspiConfig(sanitize=True, queue_depth=1)
+
+        def main(ctx):
+            ctx.segment_create(0, 64)
+            if ctx.rank == 0:
+                assert ctx.write(0, 0, 8, 1, 0, 0) is ReturnCode.SUCCESS
+                assert ctx.write(0, 0, 8, 1, 0, 8) is ReturnCode.QUEUE_FULL
+                yield from ctx.wait(0)
+                ret = ctx.write(0, 0, 8, 1, 0, 8)
+                assert ret is ReturnCode.SUCCESS
+                yield from ctx.wait(0)
+            yield from ctx.barrier()
+            return "ok"
+
+        run = run_gaspi(main, n_ranks=2, config=cfg)
+        assert run.result(0) == "ok"
+        assert run.world.sanitizer.violations == []
+
+    def test_reset_of_never_posted_slot_raises(self):
+        def main(ctx):
+            if False:
+                yield
+            ctx.segment_create(0, 64)
+            ctx.notify_reset(0, 9)
+
+        with pytest.raises(SanitizerError, match="reset_never_posted"):
+            run_sanitized(main, n_ranks=1)
+
+    def test_segment_use_after_free_raises(self):
+        def main(ctx):
+            if False:
+                yield
+            ctx.segment_create(0, 64)
+            ctx.segment_delete(0)
+            ctx.segment(0)
+
+        with pytest.raises(SanitizerError, match="segment_use_after_free"):
+            run_sanitized(main, n_ranks=1)
+
+    def test_rebind_after_delete_is_legal(self):
+        def main(ctx):
+            if False:
+                yield
+            ctx.segment_create(0, 64)
+            ctx.segment_delete(0)
+            ctx.segment_create(0, 128)  # recovery-epoch rebind
+            return ctx.segment(0).size
+
+        assert run_sanitized(main, n_ranks=1).result(0) == 128
+
+    def test_segment_view_out_of_bounds_raises(self):
+        def main(ctx):
+            if False:
+                yield
+            ctx.segment_create(0, 16)
+            ctx.segment_view(0, np.float64, offset=0, count=3)
+
+        with pytest.raises(SanitizerError, match="segment_oob"):
+            run_sanitized(main, n_ranks=1)
+
+
+# ----------------------------------------------------------------------
+# state machine details (unit level)
+# ----------------------------------------------------------------------
+class _StubSim:
+    def __init__(self):
+        self.now = 0.0
+        self.tracer = NULL_TRACER
+
+
+class _StubWorld:
+    def __init__(self):
+        self.sim = _StubSim()
+
+
+def sanitizer():
+    return Sanitizer(_StubWorld())
+
+
+class TestStateMachine:
+    def test_consumed_slot_may_be_reposted_identically(self):
+        san = sanitizer()
+        san.on_notify(0, 1, 0, 5, 3)
+        san.on_notify_reset(1, 0, 5, old_value=3)
+        san.on_notify(0, 1, 0, 5, 3)  # consumed: not a double post
+
+    def test_reset_after_post_is_legal_even_when_raced_to_zero(self):
+        # the flag was posted toward; a racing reset seeing 0 is benign
+        san = sanitizer()
+        san.on_notify(0, 1, 0, 5, 3)
+        san.on_notify_reset(1, 0, 5, old_value=0)
+
+    def test_queue_debt_is_per_rank_and_queue(self):
+        san = sanitizer()
+        san.on_queue_full(0, 2)
+        san.on_post(0, 1)  # different queue: fine
+        san.on_post(1, 2)  # different rank: fine
+        with pytest.raises(SanitizerError):
+            san.on_post(0, 2)
+
+    def test_violation_recorded_before_raise(self):
+        san = sanitizer()
+        san.on_segment_delete(0, 3)
+        with pytest.raises(SanitizerError):
+            san.on_segment_access(0, 3, "segment")
+        (kind, _t, rank, details) = san.violations[0]
+        assert kind == "segment_use_after_free"
+        assert rank == 0
+        assert details["segment"] == 3
+
+
+# ----------------------------------------------------------------------
+# observability and clean-run guarantees
+# ----------------------------------------------------------------------
+class TestObservability:
+    def test_violation_emits_trace_event(self):
+        sim = Simulator()
+        sim.tracer = Tracer()
+
+        def main(ctx):
+            if False:
+                yield
+            ctx.segment_create(0, 64)
+            ctx.segment_delete(0)
+            ctx.segment(0)
+
+        with pytest.raises(SanitizerError):
+            run_gaspi(main, n_ranks=1, config=SAN, sim=sim)
+        events = [e for e in sim.tracer.events()
+                  if e.etype == SANITIZER_VIOLATION]
+        assert len(events) == 1
+        assert events[0].fields["kind"] == "segment_use_after_free"
+
+    def test_clean_notified_exchange_has_zero_violations(self):
+        """A faithful paper-§III exchange passes the sanitizer silently."""
+
+        def main(ctx):
+            ctx.segment_create(0, 64)
+            yield from ctx.barrier()
+            peer = 1 - ctx.rank
+            ctx.segment_view(0, np.float64, offset=0, count=4)[:] = ctx.rank
+            ret = ctx.write_notify(0, 0, 32, peer, 0, 32, ctx.rank + 1,
+                                   value=ctx.rank + 1)
+            assert ret is ReturnCode.SUCCESS
+            yield from ctx.wait(0)
+            ret, nid = yield from ctx.notify_waitsome(
+                0, peer + 1, 1, GASPI_BLOCK)
+            assert ret is ReturnCode.SUCCESS
+            value = ctx.notify_reset(0, nid)
+            assert value == peer + 1
+            yield from ctx.barrier()
+            return float(ctx.segment_view(0, np.float64, offset=32,
+                                          count=4)[0])
+
+        run = run_sanitized(main)
+        assert run.result(0) == 1.0
+        assert run.result(1) == 0.0
+        assert run.world.sanitizer.violations == []
